@@ -1,0 +1,66 @@
+// Package attache is a Go implementation of Attaché (Hong, Nair, Abali,
+// Buyuktosunoglu, Kim, Healy — MICRO 2018): main-memory compression that
+// blends metadata into the data itself (BLEM) and predicts compressibility
+// before reads (COPR), eliminating the metadata bandwidth overheads that
+// erode the benefits of sub-ranked memory compression.
+//
+// The package offers two levels of API:
+//
+//   - A functional compressed memory (Memory / Framework): exact 64-byte
+//     line Store/Load round-trips through the real BDI/FPC codecs, the
+//     scrambler, the CID/XID blended-metadata header, the Replacement
+//     Area, and the COPR predictor — with traffic accounting in sub-rank
+//     block units.
+//   - A full performance-simulation stack under internal/, driven by the
+//     attachesim command, that reproduces every table and figure of the
+//     paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	mem, err := attache.NewMemory(attache.DefaultOptions())
+//	if err != nil { ... }
+//	line := make([]byte, attache.LineSize)
+//	copy(line, myData)
+//	if err := mem.Write(42, line); err != nil { ... }
+//	back, err := mem.Read(42)
+//	savings := mem.Stats.BandwidthSavings()
+package attache
+
+import (
+	"attache/internal/core"
+)
+
+// LineSize is the memory-block granularity of the framework: one 64-byte
+// cacheline.
+const LineSize = core.LineSize
+
+// SubRankBlock is the transfer unit of one sub-rank: 32 bytes.
+const SubRankBlock = core.SubRankBlock
+
+// Options configures a framework: CID width, seed, predictor sizing.
+type Options = core.Options
+
+// Framework is the Attaché engine: compression, scrambling, BLEM, COPR.
+type Framework = core.Framework
+
+// Memory is a functional compressed memory built on the framework.
+type Memory = core.Memory
+
+// MemoryStats aggregates a Memory's traffic in paper units.
+type MemoryStats = core.MemoryStats
+
+// StoredLine is the physical two-block image of a stored line.
+type StoredLine = core.StoredLine
+
+// AccessTrace reports the cost of one framework operation.
+type AccessTrace = core.AccessTrace
+
+// DefaultOptions returns the paper's configuration: a 15-bit CID and the
+// 368 KB COPR predictor.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// New builds a Framework.
+func New(opts Options) (*Framework, error) { return core.New(opts) }
+
+// NewMemory builds a functional compressed Memory.
+func NewMemory(opts Options) (*Memory, error) { return core.NewMemory(opts) }

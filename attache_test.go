@@ -1,0 +1,56 @@
+package attache_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"attache"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	mem, err := attache.NewMemory(attache.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make([]byte, attache.LineSize)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(line[i*8:], 0x1000+uint64(i))
+	}
+	if err := mem.Write(42, line); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mem.Read(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, line) {
+		t.Fatal("round trip mismatch")
+	}
+	if s := mem.Stats.BandwidthSavings(); s <= 0 {
+		t.Fatalf("compressible data saved no bandwidth (%.3f)", s)
+	}
+}
+
+func TestPublicFramework(t *testing.T) {
+	f, err := attache.New(attache.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.StorageOverheadBytes() < 368<<10 {
+		t.Fatal("predictor storage below the paper's 368KB")
+	}
+	line := make([]byte, attache.LineSize)
+	st, tr, err := f.Store(7, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Compressed || tr.BlocksTouched != 1 {
+		t.Fatal("zero line must compress into one sub-rank block")
+	}
+	got, _, err := f.Load(7, st)
+	if err != nil || !bytes.Equal(got, line) {
+		t.Fatal("load failed")
+	}
+}

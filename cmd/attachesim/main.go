@@ -1,0 +1,129 @@
+// Command attachesim regenerates every table and figure of the Attaché
+// paper's evaluation (MICRO 2018) on the built-in simulator.
+//
+// Usage:
+//
+//	attachesim -list
+//	attachesim -experiment fig12
+//	attachesim -experiment fig12,fig13 -scale 2 -seeds 42,1337 -v
+//	attachesim -experiment all
+//
+// Scale multiplies the per-core memory-reference count (default 12000);
+// the paper's shapes are stable from scale 1 upward. Results are printed
+// as aligned tables with a final mean row where the paper reports an
+// average.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"attache/internal/exp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id(s), comma separated, or 'all'")
+		scale      = flag.Float64("scale", 1.0, "run-length multiplier (1.0 = 12000 memory references per core)")
+		seeds      = flag.String("seeds", "42", "comma-separated RNG seeds; results are averaged")
+		verbose    = flag.Bool("v", false, "print one line per completed simulation run")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		format     = flag.String("format", "table", "output format: table or csv")
+		outDir     = flag.String("out", "", "also write each result to <dir>/<id>.txt and <id>.csv")
+		report     = flag.String("report", "", "run every experiment and write a markdown report to this file")
+	)
+	flag.Parse()
+
+	h := exp.NewHarness(*scale)
+	order, runners := h.Experiments()
+
+	if *list {
+		fmt.Println("available experiments (paper artifact -> id):")
+		for _, id := range order {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	var seedVals []int64
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attachesim: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		seedVals = append(seedVals, v)
+	}
+	h.Seeds = seedVals
+	if *verbose {
+		h.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := h.WriteReport(f); err != nil {
+			fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *report)
+		return
+	}
+
+	ids := order
+	if *experiment != "all" {
+		ids = nil
+		for _, id := range strings.Split(*experiment, ",") {
+			id = strings.TrimSpace(id)
+			if runners[id] == nil {
+				fmt.Fprintf(os.Stderr, "attachesim: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "attachesim: unknown format %q (want table or csv)\n", *format)
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attachesim: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s\n%s\n", id, tab.CSV())
+		} else {
+			fmt.Println(tab.String())
+			fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+				os.Exit(1)
+			}
+			for ext, content := range map[string]string{".txt": tab.String(), ".csv": tab.CSV()} {
+				path := filepath.Join(*outDir, id+ext)
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

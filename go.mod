@@ -1,0 +1,3 @@
+module attache
+
+go 1.22

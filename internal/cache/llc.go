@@ -1,0 +1,235 @@
+// Package cache models the shared last-level cache of Table II: 8 MB,
+// 8-way, 64-byte lines, LRU, write-back write-allocate, with MSHR
+// coalescing of outstanding misses. It sits between the cores and the
+// memory controller and is the source of the eviction write traffic the
+// memory system sees.
+package cache
+
+import (
+	"attache/internal/sim"
+	"attache/internal/stats"
+)
+
+// Backend is the lower level the LLC fills from and writes back to (the
+// memory-controller system).
+type Backend interface {
+	Read(lineAddr uint64, done func(now sim.Time))
+	Write(lineAddr uint64)
+}
+
+// Stats counts LLC activity.
+type Stats struct {
+	Accesses   stats.Counter
+	Hits       stats.Counter
+	Misses     stats.Counter
+	Coalesced  stats.Counter // misses merged into an in-flight fill
+	Writebacks stats.Counter // dirty evictions sent to memory
+	Prefetches stats.Counter // next-line fills issued by the prefetcher
+}
+
+// HitRate reports hits/accesses.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses.Value() == 0 {
+		return 0
+	}
+	return float64(s.Hits.Value()) / float64(s.Accesses.Value())
+}
+
+type llcLine struct {
+	valid bool
+	tag   uint64
+	dirty bool
+	used  uint64
+}
+
+type mshrEntry struct {
+	waiters []func(sim.Time)
+	dirty   bool // a store merged into this fill
+}
+
+// LLC is the shared last-level cache.
+type LLC struct {
+	eng     *sim.Engine
+	backend Backend
+	latency sim.Time
+	sets    int
+	ways    int
+	lines   []llcLine
+	tick    uint64
+	mshr    map[uint64]*mshrEntry
+	// prefetchNextLine issues a fill for addr+1 alongside every demand
+	// miss (a simple sequential prefetcher; off by default — Table II
+	// does not specify one).
+	prefetchNextLine bool
+	Stats            Stats
+}
+
+// New builds an LLC of sizeBytes with the given associativity and lookup
+// latency (CPU cycles).
+func New(eng *sim.Engine, backend Backend, sizeBytes int64, ways int, latency sim.Time) *LLC {
+	if ways <= 0 {
+		panic("cache: ways must be positive")
+	}
+	n := int(sizeBytes / 64)
+	sets := n / ways
+	if sets < 1 {
+		sets = 1
+	}
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	return &LLC{
+		eng:     eng,
+		backend: backend,
+		latency: latency,
+		sets:    sets,
+		ways:    ways,
+		lines:   make([]llcLine, sets*ways),
+		mshr:    make(map[uint64]*mshrEntry),
+	}
+}
+
+// Sets reports the number of sets.
+func (c *LLC) Sets() int { return c.sets }
+
+// EnableNextLinePrefetch turns the sequential prefetcher on or off.
+func (c *LLC) EnableNextLinePrefetch(on bool) { c.prefetchNextLine = on }
+
+func (c *LLC) set(addr uint64) []llcLine {
+	s := int(addr) & (c.sets - 1)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+func (c *LLC) find(addr uint64) *llcLine {
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Read looks up addr; done runs when data is available (after the LLC
+// latency on a hit, or after the memory fill on a miss). Concurrent
+// misses to the same line coalesce into one fill.
+func (c *LLC) Read(addr uint64, done func(now sim.Time)) {
+	c.Stats.Accesses.Inc()
+	if l := c.find(addr); l != nil {
+		c.Stats.Hits.Inc()
+		c.tick++
+		l.used = c.tick
+		c.eng.ScheduleAfter(c.latency, done)
+		return
+	}
+	c.Stats.Misses.Inc()
+	if e, ok := c.mshr[addr]; ok {
+		c.Stats.Coalesced.Inc()
+		e.waiters = append(e.waiters, done)
+		return
+	}
+	e := &mshrEntry{waiters: []func(sim.Time){done}}
+	c.mshr[addr] = e
+	c.eng.ScheduleAfter(c.latency, func(sim.Time) {
+		c.backend.Read(addr, func(now sim.Time) { c.fill(addr, now) })
+	})
+	c.maybePrefetch(addr + 1)
+}
+
+// maybePrefetch issues a prefetch fill for addr when the prefetcher is
+// enabled and the line is neither resident nor already in flight.
+func (c *LLC) maybePrefetch(addr uint64) {
+	if !c.prefetchNextLine {
+		return
+	}
+	if c.find(addr) != nil {
+		return
+	}
+	if _, ok := c.mshr[addr]; ok {
+		return
+	}
+	c.Stats.Prefetches.Inc()
+	c.mshr[addr] = &mshrEntry{} // no waiters: fill installs silently
+	c.eng.ScheduleAfter(c.latency, func(sim.Time) {
+		c.backend.Read(addr, func(now sim.Time) { c.fill(addr, now) })
+	})
+}
+
+// Write performs a store to addr. Hits mark the line dirty; misses
+// write-allocate by fetching the line (read-for-ownership) and install
+// it dirty. Stores are posted: no completion is reported.
+func (c *LLC) Write(addr uint64) {
+	c.Stats.Accesses.Inc()
+	if l := c.find(addr); l != nil {
+		c.Stats.Hits.Inc()
+		c.tick++
+		l.used = c.tick
+		l.dirty = true
+		return
+	}
+	c.Stats.Misses.Inc()
+	if e, ok := c.mshr[addr]; ok {
+		c.Stats.Coalesced.Inc()
+		e.dirty = true
+		return
+	}
+	e := &mshrEntry{dirty: true}
+	c.mshr[addr] = e
+	c.eng.ScheduleAfter(c.latency, func(sim.Time) {
+		c.backend.Read(addr, func(now sim.Time) { c.fill(addr, now) })
+	})
+}
+
+// fill installs a returned line, evicting the LRU victim (writing it back
+// if dirty) and releasing every coalesced waiter.
+func (c *LLC) fill(addr uint64, now sim.Time) {
+	e := c.mshr[addr]
+	delete(c.mshr, addr)
+
+	set := c.set(addr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.Stats.Writebacks.Inc()
+		c.backend.Write(set[victim].tag)
+	}
+	c.tick++
+	set[victim] = llcLine{valid: true, tag: addr, dirty: e.dirty, used: c.tick}
+	for _, w := range e.waiters {
+		w(now)
+	}
+}
+
+// OutstandingMisses reports in-flight fills (for drain checks).
+func (c *LLC) OutstandingMisses() int { return len(c.mshr) }
+
+// Prefill installs addr without generating memory traffic or statistics.
+// The experiment harness uses it to warm the cache to steady state before
+// measurement, standing in for the paper's 40-billion-instruction warmup.
+func (c *LLC) Prefill(addr uint64, dirty bool) {
+	if l := c.find(addr); l != nil {
+		l.dirty = l.dirty || dirty
+		return
+	}
+	set := c.set(addr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	c.tick++
+	set[victim] = llcLine{valid: true, tag: addr, dirty: dirty, used: c.tick}
+}

@@ -1,0 +1,202 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func line64(fill func(i int) byte) []byte {
+	l := make([]byte, LineSize)
+	for i := range l {
+		l[i] = fill(i)
+	}
+	return l
+}
+
+func lineFromWords64(base uint64, deltas []int64) []byte {
+	l := make([]byte, LineSize)
+	for i := 0; i < 8; i++ {
+		d := deltas[i%len(deltas)]
+		binary.LittleEndian.PutUint64(l[i*8:], base+uint64(d))
+	}
+	return l
+}
+
+func TestBDIZeros(t *testing.T) {
+	enc, ok := BDICompress(make([]byte, LineSize))
+	if !ok || len(enc) != 1 || BDIEncoding(enc[0]) != BDIZeros {
+		t.Fatalf("zero line: enc=%v ok=%v", enc, ok)
+	}
+	dec, err := BDIDecompress(enc)
+	if err != nil || !bytes.Equal(dec, make([]byte, LineSize)) {
+		t.Fatalf("zero round trip failed: %v", err)
+	}
+}
+
+func TestBDIRepeated(t *testing.T) {
+	l := lineFromWords64(0xDEADBEEFCAFEBABE, []int64{0})
+	enc, ok := BDICompress(l)
+	if !ok || BDIEncoding(enc[0]) != BDIRep || len(enc) != 9 {
+		t.Fatalf("repeated line: tag=%v len=%d ok=%v", enc[0], len(enc), ok)
+	}
+	dec, err := BDIDecompress(enc)
+	if err != nil || !bytes.Equal(dec, l) {
+		t.Fatal("repeated round trip failed")
+	}
+}
+
+func TestBDIBase8Delta1(t *testing.T) {
+	l := lineFromWords64(0x1000000000, []int64{0, 5, -3, 100, 7, -120, 64, 1})
+	enc, ok := BDICompress(l)
+	if !ok {
+		t.Fatal("b8d1-shaped line did not compress")
+	}
+	if len(enc) > 18 {
+		t.Fatalf("b8d1 line compressed to %d bytes, want <= 18", len(enc))
+	}
+	dec, err := BDIDecompress(enc)
+	if err != nil || !bytes.Equal(dec, l) {
+		t.Fatal("b8d1 round trip failed")
+	}
+}
+
+func TestBDIImmediateMix(t *testing.T) {
+	// Half the segments near zero (immediates), half near a large base.
+	l := make([]byte, LineSize)
+	for i := 0; i < 8; i++ {
+		var v uint64
+		if i%2 == 0 {
+			v = uint64(i) // immediate
+		} else {
+			v = 0x5000000000000 + uint64(i)
+		}
+		binary.LittleEndian.PutUint64(l[i*8:], v)
+	}
+	enc, ok := BDICompress(l)
+	if !ok {
+		t.Fatal("immediate-mix line did not compress")
+	}
+	dec, err := BDIDecompress(enc)
+	if err != nil || !bytes.Equal(dec, l) {
+		t.Fatal("immediate-mix round trip failed")
+	}
+}
+
+func TestBDIIncompressibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	incompressible := 0
+	for trial := 0; trial < 50; trial++ {
+		l := line64(func(int) byte { return byte(rng.Intn(256)) })
+		if _, ok := BDICompress(l); !ok {
+			incompressible++
+		}
+	}
+	if incompressible < 45 {
+		t.Fatalf("only %d/50 random lines incompressible under BDI", incompressible)
+	}
+}
+
+func TestBDIDecompressErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(BDIRep)},          // truncated rep
+		{byte(BDIB8D1), 0, 0},   // truncated base-delta
+		{200},                   // unknown tag
+		{byte(BDIUncompressed)}, // not a stored form
+	}
+	for i, c := range cases {
+		if _, err := BDIDecompress(c); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
+func TestBDICompressPanicsOnShortLine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short line")
+		}
+	}()
+	BDICompress(make([]byte, 32))
+}
+
+func TestBDISizeBounds(t *testing.T) {
+	if s := BDISize(make([]byte, LineSize)); s != 1 {
+		t.Fatalf("zero-line BDI size = %d, want 1", s)
+	}
+	rng := rand.New(rand.NewSource(1))
+	l := line64(func(int) byte { return byte(rng.Intn(256)) })
+	if s := BDISize(l); s != LineSize {
+		t.Fatalf("random line BDI size = %d, want %d", s, LineSize)
+	}
+}
+
+func TestBDIShapeSizes(t *testing.T) {
+	// Sizes from the BDI paper (+1 tag byte, +mask bytes).
+	want := map[BDIEncoding]int{
+		BDIB8D1: 18, BDIB8D2: 26, BDIB8D4: 42,
+		BDIB4D1: 23, BDIB4D2: 39, BDIB2D1: 39,
+	}
+	for _, s := range bdiShapes {
+		if got := bdiShapeSize(s); got != want[s.enc] {
+			t.Errorf("%v size = %d, want %d", s.enc, got, want[s.enc])
+		}
+	}
+}
+
+// Property: every line BDI compresses round-trips exactly.
+func TestBDIRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		l := genCompressibleCandidate(rng)
+		enc, ok := BDICompress(l)
+		if !ok {
+			continue
+		}
+		dec, err := BDIDecompress(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode error: %v", trial, err)
+		}
+		if !bytes.Equal(dec, l) {
+			t.Fatalf("trial %d: round trip mismatch\n in=%x\nout=%x", trial, l, dec)
+		}
+	}
+}
+
+// Property (testing/quick): arbitrary byte lines either refuse compression
+// or round-trip exactly.
+func TestBDIQuickRoundTrip(t *testing.T) {
+	f := func(raw [LineSize]byte) bool {
+		l := raw[:]
+		enc, ok := BDICompress(l)
+		if !ok {
+			return true
+		}
+		dec, err := BDIDecompress(enc)
+		return err == nil && bytes.Equal(dec, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genCompressibleCandidate produces lines biased toward BDI-friendly
+// shapes: common bases with varied delta widths and immediate mixes.
+func genCompressibleCandidate(rng *rand.Rand) []byte {
+	l := make([]byte, LineSize)
+	segSizes := []int{2, 4, 8}
+	seg := segSizes[rng.Intn(len(segSizes))]
+	deltaRange := []int64{120, 30000, 2000000000}[rng.Intn(3)]
+	base := rng.Uint64()
+	for i := 0; i < LineSize/seg; i++ {
+		v := base + uint64(rng.Int63n(deltaRange*2)-deltaRange)
+		if rng.Intn(4) == 0 {
+			v = uint64(rng.Int63n(100)) // immediate
+		}
+		writeSeg(l, i*seg, seg, v&maskBits(seg*8))
+	}
+	return l
+}

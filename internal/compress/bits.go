@@ -1,0 +1,82 @@
+package compress
+
+import "fmt"
+
+// BitWriter serializes values MSB-first into a byte buffer. FPC's variable
+// width codes are packed with it.
+type BitWriter struct {
+	buf   []byte
+	nbits int
+}
+
+// WriteBits appends the low n bits of v, most significant bit first.
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("compress: WriteBits width %d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.nbits >> 3
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbits&7)
+		}
+		w.nbits++
+	}
+}
+
+// Bytes returns the packed buffer; the final byte is zero-padded.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// Len reports the number of bits written.
+func (w *BitWriter) Len() int { return w.nbits }
+
+// BitReader consumes values MSB-first from a byte buffer.
+type BitReader struct {
+	buf []byte
+	pos int
+}
+
+// NewBitReader wraps buf for reading.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits consumes n bits and returns them right-aligned. It returns an
+// error when the buffer is exhausted.
+func (r *BitReader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("compress: ReadBits width %d out of range", n)
+	}
+	if r.pos+n > len(r.buf)*8 {
+		return 0, fmt.Errorf("compress: bitstream exhausted (need %d bits at offset %d, have %d)", n, r.pos, len(r.buf)*8)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos >> 3
+		bit := (r.buf[byteIdx] >> uint(7-r.pos&7)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// Remaining reports the number of unread bits.
+func (r *BitReader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// signExtend interprets the low `bits` bits of v as a two's-complement
+// value and returns it sign-extended to int64.
+func signExtend(v uint64, bits int) int64 {
+	shift := uint(64 - bits)
+	return int64(v<<shift) >> shift
+}
+
+// fitsSigned reports whether the signed value x is representable in `bits`
+// two's-complement bits.
+func fitsSigned(x int64, bits int) bool {
+	if bits >= 64 {
+		return true
+	}
+	limit := int64(1) << uint(bits-1)
+	return x >= -limit && x < limit
+}

@@ -1,0 +1,176 @@
+package compress
+
+import "fmt"
+
+// Algorithm identifies which codec produced a compressed line.
+type Algorithm uint8
+
+// The algorithms the engine can select between. The paper's controller
+// "compresses a memory block using both BDI and FPC, and selects the one
+// with the best compression ratio" (§V).
+const (
+	AlgoNone Algorithm = iota // stored uncompressed
+	AlgoBDI
+	AlgoFPC
+	// AlgoCPack is the dictionary codec of the extended engine — the
+	// "CID selects among multiple algorithms" extension of §IV-A5.
+	AlgoCPack
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNone:
+		return "none"
+	case AlgoBDI:
+		return "bdi"
+	case AlgoFPC:
+		return "fpc"
+	case AlgoCPack:
+		return "cpack"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Compressed is the engine's output for one cacheline.
+type Compressed struct {
+	Algo    Algorithm
+	Payload []byte // codec output for AlgoBDI/AlgoFPC; the raw line for AlgoNone
+}
+
+// Size reports the stored payload size in bytes: the packed form that
+// actually lands in a sub-rank (see Pack).
+func (c Compressed) Size() int { return len(c.Pack()) }
+
+// fpcTag and cpackTag mark packed FPC/CPack payloads. BDI payloads are
+// self-tagging: their first byte is a BDIEncoding in [0, 7], so any first
+// byte >= 8 is free.
+const (
+	fpcTag   = 8
+	cpackTag = 9
+)
+
+// Pack serializes the compressed line into the byte string stored in
+// memory. BDI output is stored as-is (its leading tag byte is in [0,7]);
+// FPC output gets a one-byte tag so the decompressor can identify the
+// algorithm from the stored bits alone — the in-line equivalent of the
+// paper's "use the 15th CID bit to identify the compression algorithm"
+// extension (§IV-A5). AlgoNone packs the raw 64-byte line.
+func (c Compressed) Pack() []byte {
+	switch c.Algo {
+	case AlgoFPC, AlgoCPack:
+		out := make([]byte, 1+len(c.Payload))
+		out[0] = fpcTag
+		if c.Algo == AlgoCPack {
+			out[0] = cpackTag
+		}
+		copy(out[1:], c.Payload)
+		return out
+	default:
+		return c.Payload
+	}
+}
+
+// Unpack parses a packed payload (the output of Pack for AlgoBDI/AlgoFPC)
+// back into a Compressed value.
+func Unpack(packed []byte) (Compressed, error) {
+	if len(packed) == 0 {
+		return Compressed{}, fmt.Errorf("compress: empty packed payload")
+	}
+	switch {
+	case packed[0] == fpcTag:
+		return Compressed{Algo: AlgoFPC, Payload: append([]byte(nil), packed[1:]...)}, nil
+	case packed[0] == cpackTag:
+		return Compressed{Algo: AlgoCPack, Payload: append([]byte(nil), packed[1:]...)}, nil
+	case packed[0] < fpcTag:
+		return Compressed{Algo: AlgoBDI, Payload: append([]byte(nil), packed...)}, nil
+	default:
+		return Compressed{}, fmt.Errorf("compress: unknown packed tag %d", packed[0])
+	}
+}
+
+// Engine is the compression-decompression engine in the memory controller
+// (paper Fig. 3). Latency is modeled by the memory controller (1 cycle per
+// the paper, §V); the engine itself is purely functional.
+type Engine struct {
+	// Target is the payload size a line must reach to fit one sub-rank
+	// alongside the Metadata-Header. The paper's configuration is 30
+	// bytes (32-byte sub-rank minus the 2-byte CID/XID header).
+	Target int
+	// EnableCPack adds the dictionary codec to the selection (see
+	// NewExtendedEngine).
+	EnableCPack bool
+}
+
+// NewEngine returns an engine with the paper's 30-byte target and the
+// paper's algorithm pair (BDI + FPC, §V).
+func NewEngine() *Engine { return &Engine{Target: 30} }
+
+// NewExtendedEngine returns an engine that also runs the CPack dictionary
+// codec — the multi-algorithm configuration the CID information bits of
+// §IV-A5 / Table I make addressable.
+func NewExtendedEngine() *Engine { return &Engine{Target: 30, EnableCPack: true} }
+
+// Compress runs both codecs and returns the smaller result. When neither
+// codec reaches the target, the result carries AlgoNone with the raw line so
+// callers can store it directly.
+func (e *Engine) Compress(line []byte) Compressed {
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("compress: Engine.Compress needs a %d-byte line, got %d", LineSize, len(line)))
+	}
+	bdi, bdiOK := BDICompress(line)
+	fpc, fpcOK := FPCCompress(line)
+
+	best := Compressed{Algo: AlgoNone, Payload: append([]byte(nil), line...)}
+	if bdiOK && len(bdi) <= e.Target {
+		best = Compressed{Algo: AlgoBDI, Payload: bdi}
+	}
+	// FPC pays one tag byte in packed form (see Pack).
+	if fpcOK && len(fpc)+1 <= e.Target && (best.Algo == AlgoNone || len(fpc)+1 < len(best.Pack())) {
+		best = Compressed{Algo: AlgoFPC, Payload: fpc}
+	}
+	if e.EnableCPack {
+		if cp, ok := CPackCompress(line); ok && len(cp)+1 <= e.Target &&
+			(best.Algo == AlgoNone || len(cp)+1 < len(best.Pack())) {
+			best = Compressed{Algo: AlgoCPack, Payload: cp}
+		}
+	}
+	return best
+}
+
+// Decompress reverses Compress.
+func (e *Engine) Decompress(c Compressed) ([]byte, error) {
+	switch c.Algo {
+	case AlgoNone:
+		if len(c.Payload) != LineSize {
+			return nil, fmt.Errorf("compress: uncompressed payload is %d bytes, want %d", len(c.Payload), LineSize)
+		}
+		return append([]byte(nil), c.Payload...), nil
+	case AlgoBDI:
+		return BDIDecompress(c.Payload)
+	case AlgoFPC:
+		return FPCDecompress(c.Payload)
+	case AlgoCPack:
+		return CPackDecompress(c.Payload)
+	default:
+		return nil, fmt.Errorf("compress: unknown algorithm %v", c.Algo)
+	}
+}
+
+// Compressible reports whether line compresses to at most the engine's
+// target payload under either codec. This is the predicate the whole paper
+// is built on ("compressible to 30 bytes", Fig. 4).
+func (e *Engine) Compressible(line []byte) bool {
+	return e.Compress(line).Algo != AlgoNone
+}
+
+// BestSize reports the smallest size either codec achieves regardless of
+// the target — useful for compressibility CDFs.
+func BestSize(line []byte) int {
+	b, f := BDISize(line), FPCSize(line)
+	if b < f {
+		return b
+	}
+	return f
+}

@@ -1,0 +1,140 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FPC patterns, one 3-bit prefix per 32-bit word (Alameldeen & Wood's
+// frequent-pattern table). Data widths per pattern are in fpcDataBits.
+const (
+	fpcZero         = 0 // all-zero word
+	fpcSign4        = 1 // 4-bit sign-extended
+	fpcSign8        = 2 // 8-bit sign-extended
+	fpcSign16       = 3 // 16-bit sign-extended
+	fpcHighHalf     = 4 // lower halfword zero, upper halfword stored
+	fpcTwoHalves    = 5 // two halfwords, each sign-extended from 8 bits
+	fpcRepByte      = 6 // four repeated bytes
+	fpcUncompressed = 7
+)
+
+var fpcDataBits = [8]int{0, 4, 8, 16, 16, 16, 8, 32}
+
+const fpcWords = LineSize / 4
+
+// FPCCompress compresses a 64-byte line with Frequent-Pattern-Compression.
+// The returned buffer packs sixteen (3-bit prefix, variable data) codes
+// MSB-first; the last byte is zero-padded. FPC always succeeds — in the
+// worst case every word is stored uncompressed (16 x 35 bits = 70 bytes),
+// in which case ok=false signals the encoding did not beat the raw line.
+func FPCCompress(line []byte) (encoded []byte, ok bool) {
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("compress: FPCCompress needs a %d-byte line, got %d", LineSize, len(line)))
+	}
+	var w BitWriter
+	for i := 0; i < fpcWords; i++ {
+		word := binary.LittleEndian.Uint32(line[i*4:])
+		pat, data := fpcClassify(word)
+		w.WriteBits(uint64(pat), 3)
+		if bits := fpcDataBits[pat]; bits > 0 {
+			w.WriteBits(uint64(data), bits)
+		}
+	}
+	out := w.Bytes()
+	return out, len(out) < LineSize
+}
+
+// FPCDecompress reverses FPCCompress.
+func FPCDecompress(encoded []byte) ([]byte, error) {
+	r := NewBitReader(encoded)
+	out := make([]byte, LineSize)
+	for i := 0; i < fpcWords; i++ {
+		pat, err := r.ReadBits(3)
+		if err != nil {
+			return nil, fmt.Errorf("compress: FPC word %d prefix: %w", i, err)
+		}
+		var data uint64
+		if bits := fpcDataBits[pat]; bits > 0 {
+			data, err = r.ReadBits(bits)
+			if err != nil {
+				return nil, fmt.Errorf("compress: FPC word %d data: %w", i, err)
+			}
+		}
+		word, err := fpcExpand(int(pat), uint32(data))
+		if err != nil {
+			return nil, fmt.Errorf("compress: FPC word %d: %w", i, err)
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], word)
+	}
+	return out, nil
+}
+
+// FPCSize reports the compressed size in bytes FPC achieves for line, or
+// LineSize when FPC does not beat the raw line.
+func FPCSize(line []byte) int {
+	enc, ok := FPCCompress(line)
+	if !ok {
+		return LineSize
+	}
+	return len(enc)
+}
+
+func fpcClassify(word uint32) (pattern int, data uint32) {
+	switch {
+	case word == 0:
+		return fpcZero, 0
+	case fitsSigned(int64(int32(word)), 4):
+		return fpcSign4, word & 0xF
+	case fitsSigned(int64(int32(word)), 8):
+		return fpcSign8, word & 0xFF
+	case fitsSigned(int64(int32(word)), 16):
+		return fpcSign16, word & 0xFFFF
+	case word&0xFFFF == 0:
+		return fpcHighHalf, word >> 16
+	case fpcHalfFits(word):
+		lo := word & 0xFFFF
+		hi := word >> 16
+		return fpcTwoHalves, (hi&0xFF)<<8 | lo&0xFF
+	case fpcRepeatedByte(word):
+		return fpcRepByte, word & 0xFF
+	default:
+		return fpcUncompressed, word
+	}
+}
+
+func fpcHalfFits(word uint32) bool {
+	lo := int64(int16(word & 0xFFFF))
+	hi := int64(int16(word >> 16))
+	return fitsSigned(lo, 8) && fitsSigned(hi, 8)
+}
+
+func fpcRepeatedByte(word uint32) bool {
+	b := word & 0xFF
+	return word == b|b<<8|b<<16|b<<24
+}
+
+func fpcExpand(pattern int, data uint32) (uint32, error) {
+	switch pattern {
+	case fpcZero:
+		return 0, nil
+	case fpcSign4:
+		return uint32(signExtend(uint64(data), 4)), nil
+	case fpcSign8:
+		return uint32(signExtend(uint64(data), 8)), nil
+	case fpcSign16:
+		return uint32(signExtend(uint64(data), 16)), nil
+	case fpcHighHalf:
+		return data << 16, nil
+	case fpcTwoHalves:
+		lo := uint32(signExtend(uint64(data&0xFF), 8)) & 0xFFFF
+		hi := uint32(signExtend(uint64(data>>8), 8)) & 0xFFFF
+		return hi<<16 | lo, nil
+	case fpcRepByte:
+		b := data & 0xFF
+		return b | b<<8 | b<<16 | b<<24, nil
+	case fpcUncompressed:
+		return data, nil
+	default:
+		return 0, fmt.Errorf("invalid pattern %d", pattern)
+	}
+}

@@ -1,0 +1,186 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lineFromWords32(words []uint32) []byte {
+	l := make([]byte, LineSize)
+	for i := 0; i < fpcWords; i++ {
+		binary.LittleEndian.PutUint32(l[i*4:], words[i%len(words)])
+	}
+	return l
+}
+
+func TestFPCZeroLine(t *testing.T) {
+	enc, ok := FPCCompress(make([]byte, LineSize))
+	if !ok {
+		t.Fatal("zero line did not compress")
+	}
+	// 16 words x 3 bits = 48 bits = 6 bytes.
+	if len(enc) != 6 {
+		t.Fatalf("zero line size = %d, want 6", len(enc))
+	}
+	dec, err := FPCDecompress(enc)
+	if err != nil || !bytes.Equal(dec, make([]byte, LineSize)) {
+		t.Fatal("zero round trip failed")
+	}
+}
+
+func TestFPCPatterns(t *testing.T) {
+	cases := []struct {
+		name    string
+		word    uint32
+		pattern int
+	}{
+		{"zero", 0, fpcZero},
+		{"sign4 pos", 7, fpcSign4},
+		{"sign4 neg", 0xFFFFFFF9, fpcSign4}, // -7
+		{"sign8", 100, fpcSign8},
+		{"sign8 neg", 0xFFFFFF80, fpcSign8}, // -128
+		{"sign16", 30000, fpcSign16},
+		{"sign16 neg", 0xFFFF8000, fpcSign16},
+		{"high half", 0x12340000, fpcHighHalf},
+		{"two halves", 0xFF850003, fpcTwoHalves}, // hi=-123, lo=3: both fit 8-bit signed
+		{"rep byte", 0xABABABAB, fpcRepByte},
+		{"uncompressed", 0x12345678, fpcUncompressed},
+	}
+	for _, c := range cases {
+		pat, _ := fpcClassify(c.word)
+		if pat != c.pattern {
+			t.Errorf("%s: classify(%#x) = %d, want %d", c.name, c.word, pat, c.pattern)
+		}
+	}
+}
+
+func TestFPCClassifyExpandRoundTrip(t *testing.T) {
+	words := []uint32{
+		0, 1, 7, 0xFFFFFFF8, 127, 0xFFFFFF80, 32767, 0xFFFF8000,
+		0xBEEF0000, 0x00050003, 0xFF03FF7F, 0x77777777, 0xDEADBEEF,
+		0x80000000, 0x7FFFFFFF, 0x0001FFFF,
+	}
+	for _, w := range words {
+		pat, data := fpcClassify(w)
+		got, err := fpcExpand(pat, data)
+		if err != nil {
+			t.Fatalf("expand(%d, %#x): %v", pat, data, err)
+		}
+		if got != w {
+			t.Errorf("word %#x: pattern %d expanded to %#x", w, pat, got)
+		}
+	}
+}
+
+func TestFPCSmallValueLine(t *testing.T) {
+	l := lineFromWords32([]uint32{1, 2, 3, 0xFFFFFFFF})
+	enc, ok := FPCCompress(l)
+	if !ok {
+		t.Fatal("small-value line did not compress")
+	}
+	// 16 words x (3+4) bits = 112 bits = 14 bytes.
+	if len(enc) != 14 {
+		t.Fatalf("small-value line size = %d, want 14", len(enc))
+	}
+	dec, err := FPCDecompress(enc)
+	if err != nil || !bytes.Equal(dec, l) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestFPCIncompressibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fails := 0
+	for trial := 0; trial < 50; trial++ {
+		l := line64(func(int) byte { return byte(rng.Intn(256)) })
+		if _, ok := FPCCompress(l); !ok {
+			fails++
+		}
+	}
+	if fails < 45 {
+		t.Fatalf("only %d/50 random lines incompressible under FPC", fails)
+	}
+}
+
+func TestFPCDecompressTruncated(t *testing.T) {
+	l := lineFromWords32([]uint32{5})
+	enc, _ := FPCCompress(l)
+	if _, err := FPCDecompress(enc[:len(enc)-1]); err == nil {
+		t.Fatal("expected error on truncated stream")
+	}
+	if _, err := FPCDecompress(nil); err == nil {
+		t.Fatal("expected error on empty stream")
+	}
+}
+
+func TestFPCCompressPanicsOnShortLine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short line")
+		}
+	}()
+	FPCCompress(make([]byte, 63))
+}
+
+func TestFPCSize(t *testing.T) {
+	if s := FPCSize(make([]byte, LineSize)); s != 6 {
+		t.Fatalf("zero line FPC size = %d, want 6", s)
+	}
+	rng := rand.New(rand.NewSource(3))
+	l := line64(func(int) byte { return byte(rng.Intn(256)) })
+	if s := FPCSize(l); s != LineSize {
+		t.Fatalf("random line FPC size = %d, want %d", s, LineSize)
+	}
+}
+
+// Property: FPC always round-trips exactly, for every possible line,
+// because every word has a fallback uncompressed pattern.
+func TestFPCQuickRoundTrip(t *testing.T) {
+	f := func(raw [LineSize]byte) bool {
+		l := raw[:]
+		enc, _ := FPCCompress(l)
+		dec, err := FPCDecompress(enc)
+		return err == nil && bytes.Equal(dec, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FPC size equals the analytic sum of per-word pattern widths.
+func TestFPCSizeMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		l := make([]byte, LineSize)
+		for w := 0; w < fpcWords; w++ {
+			var v uint32
+			switch rng.Intn(5) {
+			case 0:
+				v = 0
+			case 1:
+				v = uint32(rng.Intn(16)) // sign4-ish
+			case 2:
+				v = uint32(rng.Intn(65536))
+			case 3:
+				b := uint32(rng.Intn(256))
+				v = b | b<<8 | b<<16 | b<<24
+			default:
+				v = rng.Uint32()
+			}
+			binary.LittleEndian.PutUint32(l[w*4:], v)
+		}
+		bits := 0
+		for w := 0; w < fpcWords; w++ {
+			pat, _ := fpcClassify(binary.LittleEndian.Uint32(l[w*4:]))
+			bits += 3 + fpcDataBits[pat]
+		}
+		wantBytes := (bits + 7) / 8
+		enc, _ := FPCCompress(l)
+		if len(enc) != wantBytes {
+			t.Fatalf("trial %d: size %d, analytic %d", trial, len(enc), wantBytes)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: `go test` runs the seed corpus; `go test -fuzz=Fuzz...`
+// explores further. Every target asserts the codec invariants — exact
+// round trips for valid inputs, graceful errors (never panics) for
+// arbitrary ones.
+
+func fuzzSeedLines(f *testing.F) {
+	f.Helper()
+	f.Add(make([]byte, LineSize))
+	rep := bytes.Repeat([]byte{0xAB, 0xCD}, LineSize/2)
+	f.Add(rep)
+	seq := make([]byte, LineSize)
+	for i := range seq {
+		seq[i] = byte(i)
+	}
+	f.Add(seq)
+}
+
+func FuzzBDIRoundTrip(f *testing.F) {
+	fuzzSeedLines(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != LineSize {
+			return
+		}
+		enc, ok := BDICompress(data)
+		if !ok {
+			return
+		}
+		dec, err := BDIDecompress(enc)
+		if err != nil {
+			t.Fatalf("compressed output failed to decode: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzFPCRoundTrip(f *testing.F) {
+	fuzzSeedLines(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != LineSize {
+			return
+		}
+		enc, _ := FPCCompress(data)
+		dec, err := FPCDecompress(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzCPackRoundTrip(f *testing.F) {
+	fuzzSeedLines(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != LineSize {
+			return
+		}
+		enc, ok := CPackCompress(data)
+		if !ok {
+			return
+		}
+		dec, err := CPackDecompress(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodersNeverPanic feeds arbitrary bytes to every decoder: errors
+// are fine, panics are not (a corrupted DRAM block must not crash the
+// controller model).
+func FuzzDecodersNeverPanic(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{8, 0xFF})
+	f.Add([]byte{9, 0xFF, 0x00})
+	f.Add([]byte{200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		BDIDecompress(data)
+		FPCDecompress(data)
+		CPackDecompress(data)
+		MeasurePacked(data)
+		if u, err := Unpack(data); err == nil {
+			NewExtendedEngine().Decompress(u)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestMeasurePackedAgainstRealPayloads(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(8))
+	checked := 0
+	for trial := 0; trial < 3000; trial++ {
+		var l []byte
+		if trial%2 == 0 {
+			l = genCompressibleCandidate(rng)
+		} else {
+			l = make([]byte, LineSize)
+			for w := 0; w < 16; w++ {
+				binary.LittleEndian.PutUint32(l[w*4:], uint32(rng.Intn(1<<uint(rng.Intn(20)+1))))
+			}
+		}
+		c := e.Compress(l)
+		if c.Algo == AlgoNone {
+			continue
+		}
+		packed := c.Pack()
+		// Pad to a full sub-rank as BLEM stores it.
+		padded := make([]byte, 30)
+		copy(padded, packed)
+		n, err := MeasurePacked(padded)
+		if err != nil {
+			t.Fatalf("measure error on %v payload: %v", c.Algo, err)
+		}
+		if n != len(packed) {
+			t.Fatalf("measured %d, want %d (algo %v)", n, len(packed), c.Algo)
+		}
+		// The measured prefix must decode to the original line.
+		u, err := Unpack(padded[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := e.Decompress(u)
+		if err != nil || !bytes.Equal(dec, l) {
+			t.Fatal("measured prefix does not round-trip")
+		}
+		checked++
+	}
+	if checked < 300 {
+		t.Fatalf("only %d payloads checked", checked)
+	}
+}
+
+func TestMeasurePackedErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(BDIRep), 0}, // truncated rep
+		{byte(BDIB8D1)},   // truncated base-delta
+		{7},               // BDIB2D1 tag but empty body
+		{200},             // unknown tag
+		{fpcTag},          // empty FPC stream
+		{fpcTag, 0xFF},    // truncated FPC stream
+	}
+	for i, c := range cases {
+		if _, err := MeasurePacked(c); err == nil {
+			t.Errorf("case %d (% x): expected error", i, c)
+		}
+	}
+}
+
+func TestMeasurePackedZeros(t *testing.T) {
+	n, err := MeasurePacked(make([]byte, 30)) // zeros tag + padding
+	if err != nil || n != 1 {
+		t.Fatalf("zeros: n=%d err=%v", n, err)
+	}
+}

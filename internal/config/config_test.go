@@ -1,0 +1,104 @@
+package config
+
+import "testing"
+
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesTableII(t *testing.T) {
+	c := Default()
+	if c.CPU.Cores != 8 || c.CPU.IssueWidth != 4 {
+		t.Fatal("core parameters do not match Table II")
+	}
+	if c.CPU.LLCBytes != 8<<20 || c.CPU.LLCWays != 8 || c.CPU.LLCLatency != 20 {
+		t.Fatal("LLC parameters do not match Table II")
+	}
+	if c.DRAM.Channels != 2 || c.DRAM.RanksPerCh != 1 {
+		t.Fatal("channel parameters do not match Table II")
+	}
+	if c.DRAM.BankGroups != 4 || c.DRAM.BanksPerGroup != 4 {
+		t.Fatal("bank parameters do not match Table II")
+	}
+	if c.DRAM.RowsPerBank != 65536 || c.DRAM.BlocksPerRow != 128 {
+		t.Fatal("row parameters do not match Table II")
+	}
+	if c.DRAM.TRCD != 22 || c.DRAM.TRP != 22 || c.DRAM.TCAS != 22 {
+		t.Fatal("DRAM timings do not match Table II")
+	}
+}
+
+func TestBusToCPUConversion(t *testing.T) {
+	c := Default()
+	if r := c.CPUCyclesPerBusCycle(); r != 2.5 {
+		t.Fatalf("clock ratio = %v, want 2.5", r)
+	}
+	if got := c.BusToCPU(22); got != 55 {
+		t.Fatalf("BusToCPU(22) = %d, want 55", got)
+	}
+	if got := c.BusToCPU(4); got != 10 {
+		t.Fatalf("BusToCPU(4) = %d, want 10", got)
+	}
+}
+
+func TestMemorySize(t *testing.T) {
+	c := Default()
+	// 2 ch x 1 rank x 16 banks x 64K rows x 8KB rows = 16 GB.
+	if got := c.MemorySize(); got != 16<<30 {
+		t.Fatalf("memory size = %d, want 16 GiB", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.CPU.Cores = 0 }},
+		{"zero issue", func(c *Config) { c.CPU.IssueWidth = 0 }},
+		{"zero rob", func(c *Config) { c.CPU.ROBSize = 0 }},
+		{"zero mshrs", func(c *Config) { c.CPU.MSHRs = 0 }},
+		{"three channels", func(c *Config) { c.DRAM.Channels = 3 }},
+		{"zero bank groups", func(c *Config) { c.DRAM.BankGroups = 0 }},
+		{"odd blocks per row", func(c *Config) { c.DRAM.BlocksPerRow = 100 }},
+		{"three sub-ranks", func(c *Config) { c.DRAM.SubRanks = 3 }},
+		{"zero CID", func(c *Config) { c.Attache.CIDBits = 0 }},
+		{"16-bit CID", func(c *Config) { c.Attache.CIDBits = 16 }},
+		{"tiny md cache", func(c *Config) { c.MDCache.Bytes = 1 }},
+		{"high water over depth", func(c *Config) { c.DRAM.WriteHighWater = c.DRAM.WriteBufDepth + 1 }},
+		{"low water over high", func(c *Config) { c.DRAM.WriteLowWater = c.DRAM.WriteHighWater }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestSystemKindString(t *testing.T) {
+	cases := map[SystemKind]string{
+		SystemBaseline: "baseline",
+		SystemMDCache:  "mdcache",
+		SystemAttache:  "attache",
+		SystemIdeal:    "ideal",
+		SystemKind(9):  "SystemKind(9)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64 (matches 64-bit LiPR entries)", LinesPerPage)
+	}
+	if TargetPayload+MetaHeaderBytes != SubRankSize {
+		t.Fatal("target payload + header must fill one sub-rank")
+	}
+}

@@ -1,0 +1,267 @@
+package copr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.MemorySize = 1 << 30 // smaller regions so GI tests are compact
+	return c
+}
+
+func addrOf(page uint64, line int) uint64 {
+	return page<<pageShift | uint64(line)<<lineShift
+}
+
+func TestDefaultStorageBudget(t *testing.T) {
+	p := New(DefaultConfig())
+	// The paper's headline: 368 KB of SRAM for COPR.
+	if got := p.StorageBytes(); got < 368<<10 || got > 369<<10 {
+		t.Fatalf("storage = %d bytes, want ~368 KB", got)
+	}
+}
+
+func TestPredictDefaultWhenAllDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnableGI, cfg.EnablePaPR, cfg.EnableLiPR = false, false, false
+	p := New(cfg)
+	compressed, src := p.Predict(0x1000)
+	if compressed || src != SourceDefault {
+		t.Fatalf("got (%v, %v), want (false, default)", compressed, src)
+	}
+}
+
+func TestGILearnsGlobalBehaviour(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnablePaPR, cfg.EnableLiPR = false, false
+	p := New(cfg)
+	// Everything compressible: after a few updates GI predicts true.
+	for i := 0; i < 8; i++ {
+		p.Update(uint64(i)*64, true)
+	}
+	if c, src := p.Predict(512); !c || src != SourceGI {
+		t.Fatalf("GI should predict compressible, got (%v, %v)", c, src)
+	}
+	// One incompressible access resets the region counter.
+	p.Update(0, false)
+	if c, _ := p.Predict(512); c {
+		t.Fatal("GI counter should reset to 0 on incompressible access")
+	}
+}
+
+func TestGIRegionsIndependent(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnablePaPR, cfg.EnableLiPR = false, false
+	p := New(cfg)
+	regionSize := uint64(cfg.MemorySize) / uint64(cfg.GICounters)
+	for i := 0; i < 4; i++ {
+		p.Update(0, true) // region 0 compressible
+		p.Update(regionSize*3, false)
+	}
+	if c, _ := p.Predict(64); !c {
+		t.Fatal("region 0 should predict compressible")
+	}
+	if c, _ := p.Predict(regionSize*3 + 64); c {
+		t.Fatal("region 3 should predict incompressible")
+	}
+}
+
+func TestPaPRLearnsPageBehaviour(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnableGI, cfg.EnableLiPR = false, false
+	p := New(cfg)
+	page := uint64(42)
+	for line := 0; line < 4; line++ {
+		p.Update(addrOf(page, line), true)
+	}
+	if c, src := p.Predict(addrOf(page, 9)); !c || src != SourcePaPR {
+		t.Fatalf("PaPR should predict compressible, got (%v, %v)", c, src)
+	}
+	// Train the page incompressible; counter decays below threshold.
+	for line := 0; line < 4; line++ {
+		p.Update(addrOf(page, line), false)
+	}
+	if c, _ := p.Predict(addrOf(page, 9)); c {
+		t.Fatal("PaPR counter should have decayed")
+	}
+}
+
+func TestGISeedsNewPaPREntries(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnableLiPR = false
+	p := New(cfg)
+	// Warm GI with compressible accesses in region 0.
+	for page := uint64(0); page < 4; page++ {
+		p.Update(addrOf(page, 0), true)
+	}
+	// First touch of a brand-new page (same region): the PaPR entry is
+	// allocated from GI saturated, so the *next* access predicts via PaPR
+	// as compressible even though the page itself was seen once.
+	fresh := uint64(1000)
+	p.Update(addrOf(fresh, 0), true)
+	if c, src := p.Predict(addrOf(fresh, 1)); !c || src != SourcePaPR {
+		t.Fatalf("GI-seeded PaPR entry should predict compressible, got (%v, %v)", c, src)
+	}
+
+	// Without GI, a fresh page starts cold (counter from 0) and needs
+	// more evidence.
+	cfg2 := testConfig()
+	cfg2.EnableGI, cfg2.EnableLiPR = false, false
+	p2 := New(cfg2)
+	p2.Update(addrOf(fresh, 0), true)
+	if c, _ := p2.Predict(addrOf(fresh, 1)); c {
+		t.Fatal("cold PaPR entry should not yet predict compressible")
+	}
+}
+
+func TestLiPRTracksMixedPages(t *testing.T) {
+	cfg := testConfig()
+	p := New(cfg)
+	page := uint64(7)
+	// Alternate: even lines compressible, odd lines not. Train twice so
+	// PaPR hovers mid-range and LiPR keeps per-line bits.
+	for pass := 0; pass < 6; pass++ {
+		for line := 0; line < LinesPerPage; line++ {
+			p.Update(addrOf(page, line), line%2 == 0)
+		}
+	}
+	correct := 0
+	for line := 0; line < LinesPerPage; line++ {
+		c, src := p.Predict(addrOf(page, line))
+		if src != SourceLiPR {
+			t.Fatalf("line %d predicted by %v, want lipr", line, src)
+		}
+		if c == (line%2 == 0) {
+			correct++
+		}
+	}
+	if correct < LinesPerPage*9/10 {
+		t.Fatalf("LiPR got %d/%d mixed-page lines", correct, LinesPerPage)
+	}
+}
+
+func TestLiPRNeighborUpdateOnHomogeneousPage(t *testing.T) {
+	cfg := testConfig()
+	p := New(cfg)
+	page := uint64(3)
+	// Build PaPR confidence that the page is compressible.
+	for i := 0; i < 4; i++ {
+		p.Update(addrOf(page, i), true)
+	}
+	// Untouched lines still predict compressible, but through the
+	// page-level structure: LiPR only answers for lines it has observed
+	// (a wrong "compressed" guess costs a corrective fetch).
+	c, src := p.Predict(addrOf(page, 50))
+	if !c {
+		t.Fatalf("homogeneous page: unobserved line predicted incompressible (src %v)", src)
+	}
+	if src == SourceLiPR {
+		t.Fatal("LiPR must not answer for unobserved lines")
+	}
+	// Once the line is observed, LiPR takes over.
+	p.Update(addrOf(page, 50), true)
+	if _, src := p.Predict(addrOf(page, 50)); src != SourceLiPR {
+		t.Fatalf("observed line predicted by %v, want lipr", src)
+	}
+}
+
+func TestAccuracyOnStablePhases(t *testing.T) {
+	p := New(testConfig())
+	rng := rand.New(rand.NewSource(1))
+	// Phase 1: fully compressible pages; phase 2: fully incompressible.
+	for i := 0; i < 20000; i++ {
+		page := uint64(rng.Intn(64))
+		line := rng.Intn(LinesPerPage)
+		p.Update(addrOf(page, line), true)
+	}
+	for i := 0; i < 20000; i++ {
+		page := uint64(64 + rng.Intn(64))
+		line := rng.Intn(LinesPerPage)
+		p.Update(addrOf(page, line), false)
+	}
+	if acc := p.Accuracy(); acc < 0.95 {
+		t.Fatalf("accuracy on stable phases = %.3f, want > 0.95", acc)
+	}
+}
+
+func TestAccuracyBeatsColdMDCacheOnHomogeneousPages(t *testing.T) {
+	// The paper's claim: COPR ~88% on workloads with page-level
+	// similarity. Model: 90% of pages uniform, 10% mixed.
+	p := New(testConfig())
+	rng := rand.New(rand.NewSource(9))
+	pageClass := make(map[uint64]int) // 0 uniform-comp, 1 uniform-incomp, 2 mixed
+	for i := 0; i < 100000; i++ {
+		page := uint64(rng.Intn(2048))
+		cls, ok := pageClass[page]
+		if !ok {
+			r := rng.Float64()
+			switch {
+			case r < 0.45:
+				cls = 0
+			case r < 0.9:
+				cls = 1
+			default:
+				cls = 2
+			}
+			pageClass[page] = cls
+		}
+		line := rng.Intn(LinesPerPage)
+		var compressed bool
+		switch cls {
+		case 0:
+			compressed = true
+		case 1:
+			compressed = false
+		default:
+			compressed = line%2 == 0
+		}
+		p.Update(addrOf(page, line), compressed)
+	}
+	if acc := p.Accuracy(); acc < 0.85 {
+		t.Fatalf("accuracy = %.3f, want > 0.85", acc)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for s, want := range map[Source]string{
+		SourceLiPR: "lipr", SourcePaPR: "papr", SourceGI: "gi",
+		SourceDefault: "default", Source(9): "Source(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", uint8(s), s.String())
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.MemorySize = 0 },
+		func(c *Config) { c.GICounters = 0 },
+		func(c *Config) { c.GICounters = 3 },
+	} {
+		cfg := testConfig()
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestPredictDoesNotTrain(t *testing.T) {
+	p := New(testConfig())
+	p.Update(addrOf(5, 0), true)
+	before := p.Stats.Overall.Total()
+	for i := 0; i < 10; i++ {
+		p.Predict(addrOf(5, 0))
+	}
+	if p.Stats.Overall.Total() != before {
+		t.Fatal("Predict must not record accuracy observations")
+	}
+}

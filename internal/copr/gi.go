@@ -1,0 +1,57 @@
+package copr
+
+// globalIndicator is the GI: eight two-bit saturating counters, each
+// tracking the compressibility of 1/8th of the memory space (paper
+// §IV-C3). A counter increments when an access to its region is
+// compressible and resets to zero otherwise, so a high value means "recent
+// accesses here were consistently compressible".
+type globalIndicator struct {
+	counters   []uint8
+	regionSize uint64
+}
+
+func newGlobalIndicator(nCounters int, memorySize int64) *globalIndicator {
+	region := uint64(memorySize) / uint64(nCounters)
+	if region == 0 {
+		region = 1
+	}
+	return &globalIndicator{
+		counters:   make([]uint8, nCounters),
+		regionSize: region,
+	}
+}
+
+func (g *globalIndicator) index(addr uint64) int {
+	i := int(addr / g.regionSize)
+	if i >= len(g.counters) {
+		i = len(g.counters) - 1
+	}
+	return i
+}
+
+// counterFor reports the current counter value for addr's region.
+func (g *globalIndicator) counterFor(addr uint64) uint8 {
+	return g.counters[g.index(addr)]
+}
+
+// predict reports the GI's guess for addr: compressible only when the
+// region's counter is saturated. The guess backs a pre-read sub-rank
+// decision whose false-"compressed" outcome costs a serialized corrective
+// fetch, so the global fallback only fires at full confidence.
+func (g *globalIndicator) predict(addr uint64) bool {
+	return g.counterFor(addr) >= 3
+}
+
+// update trains the region counter: saturating increment on compressible,
+// reset to zero on incompressible (paper: "otherwise it is reinitialized
+// to zero").
+func (g *globalIndicator) update(addr uint64, compressed bool) {
+	i := g.index(addr)
+	if compressed {
+		if g.counters[i] < 3 {
+			g.counters[i]++
+		}
+	} else {
+		g.counters[i] = 0
+	}
+}

@@ -1,0 +1,100 @@
+package copr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrainDoesNotScoreAccuracy(t *testing.T) {
+	p := New(testConfig())
+	for i := 0; i < 100; i++ {
+		p.Train(addrOf(uint64(i%8), i%64), i%2 == 0)
+	}
+	if p.Stats.Overall.Total() != 0 {
+		t.Fatalf("Train recorded %d accuracy observations", p.Stats.Overall.Total())
+	}
+	// But the tables did learn: a subsequent Predict on a trained page
+	// consults PaPR/LiPR, not the default.
+	p2 := New(testConfig())
+	for i := 0; i < 8; i++ {
+		p2.Train(addrOf(3, i), true)
+	}
+	if c, src := p2.Predict(addrOf(3, 0)); !c || src == SourceDefault {
+		t.Fatalf("training had no effect: (%v, %v)", c, src)
+	}
+}
+
+func TestUpdateEquivalentToPredictPlusTrain(t *testing.T) {
+	// Update == score(Predict) + Train: two predictors fed the same
+	// stream through either path end in identical prediction states.
+	a := New(testConfig())
+	b := New(testConfig())
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		page := uint64(rng.Intn(128))
+		line := rng.Intn(64)
+		comp := rng.Intn(3) > 0
+		addr := addrOf(page, line)
+		a.Update(addr, comp)
+		b.Train(addr, comp) // no scoring, same learning
+	}
+	for i := 0; i < 2000; i++ {
+		addr := addrOf(uint64(rng.Intn(128)), rng.Intn(64))
+		ca, sa := a.Predict(addr)
+		cb, sb := b.Predict(addr)
+		if ca != cb || sa != sb {
+			t.Fatalf("states diverge at %d: (%v,%v) vs (%v,%v)", addr, ca, sa, cb, sb)
+		}
+	}
+}
+
+func TestLiPRSeenGating(t *testing.T) {
+	p := New(testConfig())
+	page := uint64(5)
+	// Observe only line 10 (incompressible) on a page PaPR believes
+	// compressible.
+	for i := 0; i < 4; i++ {
+		p.Update(addrOf(page, 0), true)
+		p.Update(addrOf(page, 1), true)
+	}
+	p.Update(addrOf(page, 10), false)
+	// Observed line: LiPR answers with the exact bit.
+	if c, src := p.Predict(addrOf(page, 10)); c || src != SourceLiPR {
+		t.Fatalf("observed line: (%v, %v), want (false, lipr)", c, src)
+	}
+	// Unobserved line: defer to PaPR's page-level view.
+	if _, src := p.Predict(addrOf(page, 30)); src == SourceLiPR {
+		t.Fatal("unobserved line must not be answered by LiPR")
+	}
+}
+
+func TestGISaturationGate(t *testing.T) {
+	cfg := testConfig()
+	cfg.EnablePaPR, cfg.EnableLiPR = false, false
+	p := New(cfg)
+	// Two compressible observations: counter at 2, still conservative.
+	p.Update(0, true)
+	p.Update(64, true)
+	if c, _ := p.Predict(128); c {
+		t.Fatal("GI predicted compressed below saturation")
+	}
+	// Third: saturated, now predicts compressed.
+	p.Update(128, true)
+	if c, _ := p.Predict(192); !c {
+		t.Fatal("saturated GI should predict compressed")
+	}
+}
+
+func TestBySourceAccuracyTracked(t *testing.T) {
+	p := New(testConfig())
+	for i := 0; i < 1000; i++ {
+		p.Update(addrOf(uint64(i%16), i%64), true)
+	}
+	var total uint64
+	for s := range p.Stats.BySource {
+		total += p.Stats.BySource[s].Total()
+	}
+	if total != p.Stats.Overall.Total() {
+		t.Fatalf("per-source totals %d != overall %d", total, p.Stats.Overall.Total())
+	}
+}

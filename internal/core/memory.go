@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"attache/internal/stats"
+)
+
+// MemoryStats aggregates traffic through a Memory in the units the paper
+// reports.
+type MemoryStats struct {
+	Reads           stats.Counter
+	Writes          stats.Counter
+	BlocksRead      stats.Counter // 32-byte sub-rank transfers
+	BlocksWritten   stats.Counter
+	Mispredictions  stats.Counter
+	RAAccesses      stats.Counter
+	CompressedLines stats.Counter // current count of compressed lines
+}
+
+// BandwidthSavings reports the fraction of 32-byte transfers avoided
+// relative to an uncompressed system (2 blocks per access).
+func (s *MemoryStats) BandwidthSavings() float64 {
+	total := s.Reads.Value() + s.Writes.Value()
+	if total == 0 {
+		return 0
+	}
+	moved := s.BlocksRead.Value() + s.BlocksWritten.Value()
+	return 1 - float64(moved)/float64(2*total)
+}
+
+// Memory is a functional compressed memory backed by the Attaché
+// framework: a sparse map of stored lines with exact Store/Load
+// round-trips. It is the container the examples build on.
+type Memory struct {
+	f     *Framework
+	lines map[uint64]StoredLine
+	Stats MemoryStats
+}
+
+// NewMemory builds a memory with its own framework instance.
+func NewMemory(opts Options) (*Memory, error) {
+	f, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{f: f, lines: make(map[uint64]StoredLine)}, nil
+}
+
+// Framework exposes the underlying framework (predictor stats, BLEM
+// counters).
+func (m *Memory) Framework() *Framework { return m.f }
+
+// Write stores a 64-byte line at lineAddr.
+func (m *Memory) Write(lineAddr uint64, data []byte) error {
+	prev, existed := m.lines[lineAddr]
+	st, tr, err := m.f.Store(lineAddr, data)
+	if err != nil {
+		return err
+	}
+	m.lines[lineAddr] = st
+	m.Stats.Writes.Inc()
+	m.Stats.BlocksWritten.Add(uint64(tr.BlocksTouched))
+	if tr.RAAccess {
+		m.Stats.RAAccesses.Inc()
+	}
+	switch {
+	case st.Compressed && (!existed || !prev.Compressed):
+		m.Stats.CompressedLines.Inc()
+	case !st.Compressed && existed && prev.Compressed:
+		m.Stats.CompressedLines.Dec()
+	}
+	return nil
+}
+
+// Read loads the 64-byte line at lineAddr. Reading a never-written line
+// is an error — a real controller would return whatever junk DRAM holds,
+// which no software relies on.
+func (m *Memory) Read(lineAddr uint64) ([]byte, error) {
+	st, ok := m.lines[lineAddr]
+	if !ok {
+		return nil, fmt.Errorf("core: line %d was never written", lineAddr)
+	}
+	data, tr, err := m.f.Load(lineAddr, st)
+	if err != nil {
+		return nil, err
+	}
+	m.Stats.Reads.Inc()
+	m.Stats.BlocksRead.Add(uint64(tr.BlocksTouched))
+	if tr.Mispredicted {
+		m.Stats.Mispredictions.Inc()
+	}
+	if tr.RAAccess {
+		m.Stats.RAAccesses.Inc()
+	}
+	return data, nil
+}
+
+// Lines reports how many distinct lines have been written.
+func (m *Memory) Lines() int { return len(m.lines) }
+
+// PredictionAccuracy reports COPR's running accuracy, or 1 when the
+// predictor is disabled.
+func (m *Memory) PredictionAccuracy() float64 {
+	if m.f.Copr == nil {
+		return 1
+	}
+	return m.f.Copr.Accuracy()
+}

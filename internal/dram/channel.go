@@ -1,0 +1,409 @@
+package dram
+
+import (
+	"fmt"
+
+	"attache/internal/config"
+	"attache/internal/sim"
+	"attache/internal/stats"
+)
+
+// SubRankMask selects which sub-ranks a request touches.
+type SubRankMask uint8
+
+// Masks for the two sub-ranks of a rank. A non-sub-ranked (baseline)
+// system always uses SubRankBoth: the chips operate in lockstep.
+const (
+	SubRank0    SubRankMask = 1
+	SubRank1    SubRankMask = 2
+	SubRankBoth SubRankMask = 3
+)
+
+// Request is one DRAM access submitted to a channel.
+type Request struct {
+	Write    bool
+	Loc      Location
+	SubRanks SubRankMask
+	// DoubleBurst doubles the data-transfer time: a 64-byte access
+	// serviced by a single sub-rank (Fig. 2(b), sub-ranking without
+	// compression).
+	DoubleBurst bool
+	// Priority requests jump the queue (still honoring bus
+	// availability): used for misprediction-correction fetches, whose
+	// load already blocks a core's ROB head.
+	Priority bool
+	// Done runs at completion (reads: data returned; writes: written).
+	// May be nil for posted writes.
+	Done func(now sim.Time)
+
+	arrive sim.Time
+}
+
+// ChannelStats aggregates per-channel activity.
+type ChannelStats struct {
+	Reads          stats.Counter
+	Writes         stats.Counter
+	BytesRead      stats.Counter
+	BytesWritten   stats.Counter
+	RowHits        stats.Ratio // over issued requests
+	ReadLatency    stats.Mean  // arrival to data return, CPU cycles
+	QueuedReadMax  int
+	QueuedWriteMax int
+	BusBusy        [2]sim.Time // per-sub-rank data-bus occupancy, CPU cycles
+}
+
+type bank struct {
+	open    bool
+	row     int
+	readyAt sim.Time
+}
+
+// Channel is one memory channel: banks (per sub-rank), the data buses,
+// request queues, and the FR-FCFS scheduler with read priority and
+// watermark-based write draining (paper §V).
+type Channel struct {
+	eng    *sim.Engine
+	cfg    config.Config
+	id     int
+	nbanks int
+
+	banks   [2][]bank // [subRank][bankIndex]; lockstep in baseline mode
+	busFree [2]sim.Time
+
+	readQ  []*Request
+	writeQ []*Request
+
+	draining    bool
+	nextRefresh sim.Time
+	wakeAt      sim.Time
+	wakePending bool
+
+	// Converted timing, in CPU cycles.
+	tRCD, tRP, tCAS, tBurst, tRFC, tREFI, tFAW sim.Time
+
+	// actTimes tracks the last four activation times per sub-rank for
+	// the tFAW constraint (ring buffers).
+	actTimes [2][4]sim.Time
+	actHead  [2]int
+
+	Stats  ChannelStats
+	Energy Energy
+}
+
+// NewChannel builds channel id for cfg, attached to the engine.
+func NewChannel(eng *sim.Engine, cfg config.Config, id int) *Channel {
+	nb := cfg.DRAM.BankGroups * cfg.DRAM.BanksPerGroup
+	c := &Channel{
+		eng:    eng,
+		cfg:    cfg,
+		id:     id,
+		nbanks: nb,
+		tRCD:   cfg.BusToCPU(cfg.DRAM.TRCD),
+		tRP:    cfg.BusToCPU(cfg.DRAM.TRP),
+		tCAS:   cfg.BusToCPU(cfg.DRAM.TCAS),
+		tBurst: cfg.BusToCPU(cfg.DRAM.BurstBusCycles),
+		tRFC:   cfg.BusToCPU(cfg.DRAM.TRFC),
+		tREFI:  cfg.BusToCPU(cfg.DRAM.TREFI),
+		tFAW:   cfg.BusToCPU(cfg.DRAM.TFAW),
+	}
+	c.banks[0] = make([]bank, nb)
+	c.banks[1] = make([]bank, nb)
+	c.nextRefresh = c.tREFI
+	return c
+}
+
+// QueueDepths reports current read and write queue occupancy.
+func (c *Channel) QueueDepths() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Submit enqueues a request. Writes are posted into the write buffer;
+// reads go to the read queue. The scheduler wakes immediately if it is
+// not already due sooner.
+func (c *Channel) Submit(r *Request) {
+	if r.SubRanks == 0 || r.SubRanks > SubRankBoth {
+		panic(fmt.Sprintf("dram: invalid sub-rank mask %d", r.SubRanks))
+	}
+	now := c.eng.Now()
+	r.arrive = now
+	if r.Write {
+		c.writeQ = append(c.writeQ, r)
+		if len(c.writeQ) > c.Stats.QueuedWriteMax {
+			c.Stats.QueuedWriteMax = len(c.writeQ)
+		}
+	} else {
+		c.readQ = append(c.readQ, r)
+		if len(c.readQ) > c.Stats.QueuedReadMax {
+			c.Stats.QueuedReadMax = len(c.readQ)
+		}
+	}
+	c.wake(now)
+}
+
+// wake ensures a scheduler event fires no later than at.
+func (c *Channel) wake(at sim.Time) {
+	if c.wakePending && c.wakeAt <= at {
+		return
+	}
+	c.wakePending = true
+	c.wakeAt = at
+	c.eng.Schedule(at, c.tick)
+}
+
+func (c *Channel) tick(now sim.Time) {
+	if c.wakePending && now < c.wakeAt {
+		return // stale wake superseded by an earlier one
+	}
+	c.wakePending = false
+	c.refreshIfDue(now)
+
+	// Issue up to one request per sub-rank bus per wake; decisions are
+	// refreshed every burst slot so FR-FCFS reacts to newly open rows.
+	for issued := 0; issued < 2; issued++ {
+		q := c.pickQueue()
+		if q == nil {
+			break
+		}
+		idx := c.pickIssuable(*q, now)
+		if idx < 0 {
+			break
+		}
+		r := (*q)[idx]
+		*q = append((*q)[:idx], (*q)[idx+1:]...)
+		c.issue(now, r)
+	}
+
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 {
+		next := c.busFree[0]
+		if c.busFree[1] < next {
+			next = c.busFree[1]
+		}
+		// Wake a CAS latency before the bus frees so the next column
+		// command overlaps the in-flight burst — but no later than one
+		// burst from now, so bank-preparation-bound requests (which may
+		// become issuable before the bus frees) are reconsidered.
+		next -= c.tCAS
+		if next > now+c.tBurst {
+			next = now + c.tBurst
+		}
+		if next <= now {
+			next = now + 1
+		}
+		c.wake(next)
+	}
+}
+
+// pickQueue applies read priority with watermark write draining: writes
+// are serviced when the buffer passes the high watermark (until it falls
+// to the low watermark) or opportunistically when no reads wait.
+func (c *Channel) pickQueue() *[]*Request {
+	if len(c.writeQ) >= c.cfg.DRAM.WriteHighWater {
+		c.draining = true
+	}
+	if c.draining && len(c.writeQ) <= c.cfg.DRAM.WriteLowWater {
+		c.draining = false
+	}
+	useWrites := c.draining || len(c.readQ) == 0
+	if useWrites && len(c.writeQ) > 0 {
+		return &c.writeQ
+	}
+	if len(c.readQ) > 0 {
+		return &c.readQ
+	}
+	return nil
+}
+
+// pickIssuable applies FR-FCFS among requests whose data bus will be free
+// within one burst slot: the first row hit wins, then the oldest priority
+// request (a blocking metadata fetch or misprediction correction), then
+// the oldest request. It returns -1 when every candidate's bus is
+// committed too far ahead, keeping scheduling decisions within a burst of
+// real time.
+func (c *Channel) pickIssuable(q []*Request, now sim.Time) int {
+	oldest, prio := -1, -1
+	for i, r := range q {
+		if !c.busAvailable(r, now) {
+			continue
+		}
+		if !c.cfg.DRAM.SchedFCFS && c.isRowHit(r) {
+			return i
+		}
+		if prio < 0 && r.Priority {
+			prio = i
+		}
+		if oldest < 0 {
+			oldest = i
+		}
+	}
+	if prio >= 0 {
+		return prio
+	}
+	return oldest
+}
+
+// busAvailable reports whether the request could deliver its data within
+// one burst of when its bus frees. The estimate accounts for the
+// request's own bank preparation (precharge + activate + CAS): a row-miss
+// request whose data cannot arrive before the bus frees anyway is
+// issuable — its bank work overlaps the in-flight bursts — while
+// requests that would stack the bus more than one burst ahead wait. This
+// keeps bank-level parallelism alive under row-miss-heavy traffic without
+// over-committing the data bus.
+func (c *Channel) busAvailable(r *Request, now sim.Time) bool {
+	bi := r.Loc.Group*c.cfg.DRAM.BanksPerGroup + r.Loc.Bank
+	for s := 0; s < 2; s++ {
+		if r.SubRanks&(1<<uint(s)) == 0 {
+			continue
+		}
+		b := &c.banks[s][bi]
+		start := b.readyAt
+		if start < now {
+			start = now
+		}
+		if !b.open || b.row != r.Loc.Row {
+			if b.open {
+				start += c.tRP
+			}
+			start += c.tRCD
+		}
+		casDone := start + c.tCAS
+		if c.busFree[s] > casDone+c.tBurst {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Channel) isRowHit(r *Request) bool {
+	bi := r.Loc.Group*c.cfg.DRAM.BanksPerGroup + r.Loc.Bank
+	for s := 0; s < 2; s++ {
+		if r.SubRanks&(1<<uint(s)) == 0 {
+			continue
+		}
+		b := &c.banks[s][bi]
+		if !b.open || b.row != r.Loc.Row {
+			return false
+		}
+	}
+	return true
+}
+
+// issue computes the request's service against bank and bus state,
+// charges energy, and schedules its completion.
+func (c *Channel) issue(now sim.Time, r *Request) {
+	bi := r.Loc.Group*c.cfg.DRAM.BanksPerGroup + r.Loc.Bank
+	burst := c.tBurst
+	if r.DoubleBurst {
+		burst *= 2
+	}
+	rowHit := c.isRowHit(r)
+	c.Stats.RowHits.Observe(rowHit)
+
+	subranks := 0
+	var finish sim.Time
+	for s := 0; s < 2; s++ {
+		if r.SubRanks&(1<<uint(s)) == 0 {
+			continue
+		}
+		subranks++
+		b := &c.banks[s][bi]
+		start := b.readyAt
+		if start < now {
+			start = now
+		}
+		if !b.open || b.row != r.Loc.Row {
+			if b.open {
+				start += c.tRP // precharge the old row
+			}
+			// The four-activate window: the new ACT may not issue until
+			// tFAW after the fourth-last activation on this sub-rank.
+			if c.tFAW > 0 {
+				if earliest := c.actTimes[s][c.actHead[s]] + c.tFAW; start < earliest {
+					start = earliest
+				}
+				c.actTimes[s][c.actHead[s]] = start
+				c.actHead[s] = (c.actHead[s] + 1) % 4
+			}
+			start += c.tRCD // activate the new row
+			b.open = true
+			b.row = r.Loc.Row
+			// Each half-rank activation is charged separately; a
+			// lockstep (both-sub-rank) activation costs two halves,
+			// which equals one full-rank activate.
+			c.Energy.HalfActivates++
+		}
+		casDone := start + c.tCAS
+		dataStart := casDone
+		if c.busFree[s] > dataStart {
+			dataStart = c.busFree[s]
+		}
+		dataEnd := dataStart + burst
+		c.busFree[s] = dataEnd
+		c.Stats.BusBusy[s] += burst
+		// The bank accepts its next column command one burst after this
+		// one (tCCD); CAS commands pipeline so bursts run back-to-back.
+		b.readyAt = start + burst
+		if c.cfg.DRAM.ClosedPage {
+			// Auto-precharge: the row closes after the access; the
+			// precharge overlaps the data burst.
+			b.open = false
+		}
+		if dataEnd > finish {
+			finish = dataEnd
+		}
+	}
+	bytes := uint64(subranks) * 32
+	if r.DoubleBurst {
+		bytes *= 2
+	}
+	if r.Write {
+		c.Stats.Writes.Inc()
+		c.Stats.BytesWritten.Add(bytes)
+		if subranks == 2 {
+			c.Energy.Writes64++
+		} else if r.DoubleBurst {
+			c.Energy.Writes64++
+		} else {
+			c.Energy.Writes32++
+		}
+	} else {
+		c.Stats.Reads.Inc()
+		c.Stats.BytesRead.Add(bytes)
+		if subranks == 2 {
+			c.Energy.Reads64++
+		} else if r.DoubleBurst {
+			c.Energy.Reads64++
+		} else {
+			c.Energy.Reads32++
+		}
+		c.Stats.ReadLatency.Observe(float64(finish - r.arrive))
+	}
+	if r.Done != nil {
+		done := r.Done
+		c.eng.Schedule(finish, done)
+	}
+}
+
+// refreshIfDue blocks all banks for tRFC once per tREFI window.
+func (c *Channel) refreshIfDue(now sim.Time) {
+	for now >= c.nextRefresh {
+		start := c.nextRefresh
+		for s := 0; s < 2; s++ {
+			for i := range c.banks[s] {
+				b := &c.banks[s][i]
+				if b.readyAt < start {
+					b.readyAt = start
+				}
+				b.readyAt += c.tRFC
+				b.open = false // refresh closes rows
+			}
+		}
+		c.Energy.Refreshes++
+		c.nextRefresh += c.tREFI
+	}
+}
+
+// Drained reports whether both queues are empty (simulation end check).
+func (c *Channel) Drained() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0
+}

@@ -1,0 +1,67 @@
+package dram
+
+// Energy accumulates DRAM energy DRAMSim2-style: per-event charges for
+// activations, read/write bursts, and refreshes, plus background power
+// integrated over simulated time. Absolute values are representative DDR4
+// numbers; the figures the harness reproduces (Fig. 13) are ratios
+// between systems, which depend on event *counts* and runtime, not on the
+// constants' absolute calibration.
+type Energy struct {
+	// Event counters. "Half" events touch one 4-chip sub-rank and cost
+	// half the corresponding full-rank energy.
+	FullActivates uint64
+	HalfActivates uint64
+	Reads64       uint64 // full-width 64-byte bursts
+	Reads32       uint64 // single sub-rank 32-byte bursts
+	Writes64      uint64
+	Writes32      uint64
+	Refreshes     uint64
+}
+
+// Per-event energy constants in nanojoules, and background power in watts.
+// Sources: DDR4 x8 datasheet IDD values folded into per-operation charges,
+// the same style as DRAMSim2's calculator.
+const (
+	EnergyActivateNJ = 2.0 // full 8-chip activate + precharge
+	EnergyRead64NJ   = 4.0 // array read + I/O for a 64-byte burst
+	EnergyWrite64NJ  = 4.4
+	EnergyRefreshNJ  = 28.0 // one all-bank refresh of one rank
+	BackgroundWatts  = 0.30 // per rank, standby + peripheral
+)
+
+// Components reports the dynamic energy split by source, in nanojoules.
+func (e *Energy) Components() (activateNJ, readNJ, writeNJ, refreshNJ float64) {
+	activateNJ = float64(e.FullActivates)*EnergyActivateNJ + float64(e.HalfActivates)*EnergyActivateNJ/2
+	readNJ = float64(e.Reads64)*EnergyRead64NJ + float64(e.Reads32)*EnergyRead64NJ/2
+	writeNJ = float64(e.Writes64)*EnergyWrite64NJ + float64(e.Writes32)*EnergyWrite64NJ/2
+	refreshNJ = float64(e.Refreshes) * EnergyRefreshNJ
+	return
+}
+
+// DynamicNJ reports the accumulated event energy in nanojoules.
+func (e *Energy) DynamicNJ() float64 {
+	a, r, w, f := e.Components()
+	return a + r + w + f
+}
+
+// BackgroundNJ reports background energy for a run of the given length.
+func BackgroundNJ(cpuCycles int64, cpuGHz float64, ranks int) float64 {
+	seconds := float64(cpuCycles) / (cpuGHz * 1e9)
+	return BackgroundWatts * float64(ranks) * seconds * 1e9
+}
+
+// TotalNJ reports dynamic plus background energy for a run.
+func (e *Energy) TotalNJ(cpuCycles int64, cpuGHz float64, ranks int) float64 {
+	return e.DynamicNJ() + BackgroundNJ(cpuCycles, cpuGHz, ranks)
+}
+
+// Add merges another accumulator (per-channel totals into a system total).
+func (e *Energy) Add(o *Energy) {
+	e.FullActivates += o.FullActivates
+	e.HalfActivates += o.HalfActivates
+	e.Reads64 += o.Reads64
+	e.Reads32 += o.Reads32
+	e.Writes64 += o.Writes64
+	e.Writes32 += o.Writes32
+	e.Refreshes += o.Refreshes
+}

@@ -1,0 +1,99 @@
+package memctrl
+
+import (
+	"attache/internal/dram"
+	"attache/internal/sim"
+)
+
+// The ECC-metadata system (Deb et al., ICCD 2016 — the alternative the
+// paper discusses in §VII-A): compression metadata is carried in the
+// module's ECC bits, so like BLEM it travels with the data and costs no
+// extra requests. The pre-read sub-rank decision, however, comes from a
+// simple last-outcome predictor — a table of 1-bit "was the last line in
+// this region compressed?" entries — rather than COPR's multi-granularity
+// design. Comparing this system against Attaché isolates COPR's
+// contribution from BLEM's.
+//
+// lastOutcome is that predictor: direct-mapped, one bit per line-group.
+type lastOutcome struct {
+	bits []uint8 // 0 = unknown/uncompressed, 1 = compressed
+	mask uint64
+}
+
+// lastOutcomeEntries gives the predictor the same storage budget as
+// COPR's PaPR+LiPR (368 KB of 1-bit entries ~= 3M entries) so the
+// comparison is about structure, not capacity.
+const lastOutcomeEntries = 1 << 21
+
+func newLastOutcome() *lastOutcome {
+	return &lastOutcome{bits: make([]uint8, lastOutcomeEntries), mask: lastOutcomeEntries - 1}
+}
+
+func (l *lastOutcome) index(lineAddr uint64) uint64 {
+	return (lineAddr * 0x9E3779B97F4A7C15 >> 20) & l.mask
+}
+
+func (l *lastOutcome) predict(lineAddr uint64) bool {
+	return l.bits[l.index(lineAddr)] != 0
+}
+
+func (l *lastOutcome) update(lineAddr uint64, compressed bool) {
+	v := uint8(0)
+	if compressed {
+		v = 1
+	}
+	l.bits[l.index(lineAddr)] = v
+}
+
+func (s *System) readECC(lineAddr uint64, done func(sim.Time)) {
+	// Same lookup latency as COPR / the metadata cache.
+	s.eng.ScheduleAfter(s.cfg.Attache.PredictorLatency, func(sim.Time) {
+		s.issueECCRead(lineAddr, done)
+	})
+}
+
+func (s *System) issueECCRead(lineAddr uint64, done func(sim.Time)) {
+	loc := s.mapper.Decode(lineAddr)
+	actual := s.compressed(lineAddr)
+	predicted := s.lastOut.predict(lineAddr)
+	s.Stats.CompressedReads.Observe(actual)
+	s.Stats.DataReads.Inc()
+
+	complete := func(now sim.Time) {
+		s.Stats.ECCPrediction.Observe(predicted == actual)
+		s.lastOut.update(lineAddr, actual)
+		done(now)
+	}
+
+	if predicted {
+		s.submit(&dram.Request{Loc: loc, SubRanks: subRankFor(loc), Done: func(now sim.Time) {
+			if actual {
+				complete(now)
+				return
+			}
+			// ECC metadata arrived with the half-line and revealed the
+			// truth: fetch the rest. No Replacement Area exists here —
+			// the ECC bits are the metadata store.
+			s.Stats.CorrectionReads.Inc()
+			other := dram.SubRank0
+			if subRankFor(loc) == dram.SubRank0 {
+				other = dram.SubRank1
+			}
+			s.submit(&dram.Request{Loc: loc, SubRanks: other, Done: complete})
+		}})
+		return
+	}
+	s.submit(&dram.Request{Loc: loc, SubRanks: dram.SubRankBoth, Done: complete})
+}
+
+func (s *System) writeECC(lineAddr uint64) {
+	s.Stats.DataWrites.Inc()
+	loc := s.mapper.Decode(lineAddr)
+	actual := s.compressed(lineAddr)
+	s.lastOut.update(lineAddr, actual)
+	mask := dram.SubRankBoth
+	if actual {
+		mask = subRankFor(loc)
+	}
+	s.submit(&dram.Request{Write: true, Loc: loc, SubRanks: mask})
+}

@@ -1,0 +1,262 @@
+package memctrl
+
+import (
+	"attache/internal/config"
+	"attache/internal/dram"
+	"attache/internal/sim"
+)
+
+// Read requests the 64-byte line at lineAddr; done runs when the complete
+// line is available at the controller. The request path depends on the
+// system organization.
+func (s *System) Read(lineAddr uint64, done func(now sim.Time)) {
+	start := s.eng.Now()
+	finish := func(now sim.Time) {
+		s.Stats.ReadLatency.Observe(float64(now - start))
+		if done != nil {
+			done(now)
+		}
+	}
+	switch s.kind {
+	case config.SystemBaseline:
+		s.readBaseline(lineAddr, finish)
+	case config.SystemIdeal:
+		s.readIdeal(lineAddr, finish)
+	case config.SystemAttache:
+		s.readAttache(lineAddr, finish)
+	case config.SystemMDCache:
+		s.readMDCache(lineAddr, finish)
+	case config.SystemECC:
+		s.readECC(lineAddr, finish)
+	}
+}
+
+// Write posts the 64-byte line at lineAddr.
+func (s *System) Write(lineAddr uint64) {
+	switch s.kind {
+	case config.SystemBaseline:
+		s.writeBaseline(lineAddr)
+	case config.SystemIdeal:
+		s.writeIdeal(lineAddr)
+	case config.SystemAttache:
+		s.writeAttache(lineAddr)
+	case config.SystemMDCache:
+		s.writeMDCache(lineAddr)
+	case config.SystemECC:
+		s.writeECC(lineAddr)
+	}
+}
+
+// --- Baseline: no compression, no sub-ranking --------------------------
+
+func (s *System) readBaseline(lineAddr uint64, done func(sim.Time)) {
+	s.Stats.DataReads.Inc()
+	loc := s.mapper.Decode(lineAddr)
+	s.submit(&dram.Request{Loc: loc, SubRanks: dram.SubRankBoth, Done: done})
+}
+
+func (s *System) writeBaseline(lineAddr uint64) {
+	s.Stats.DataWrites.Inc()
+	loc := s.mapper.Decode(lineAddr)
+	s.submit(&dram.Request{Write: true, Loc: loc, SubRanks: dram.SubRankBoth})
+}
+
+// --- Ideal: oracle metadata, zero overhead -----------------------------
+
+func (s *System) readIdeal(lineAddr uint64, done func(sim.Time)) {
+	s.Stats.DataReads.Inc()
+	loc := s.mapper.Decode(lineAddr)
+	comp := s.compressed(lineAddr)
+	s.Stats.CompressedReads.Observe(comp)
+	mask := dram.SubRankBoth
+	if comp {
+		mask = subRankFor(loc)
+	}
+	s.submit(&dram.Request{Loc: loc, SubRanks: mask, Done: done})
+}
+
+func (s *System) writeIdeal(lineAddr uint64) {
+	s.Stats.DataWrites.Inc()
+	loc := s.mapper.Decode(lineAddr)
+	mask := dram.SubRankBoth
+	if s.compressed(lineAddr) {
+		mask = subRankFor(loc)
+	}
+	s.submit(&dram.Request{Write: true, Loc: loc, SubRanks: mask})
+}
+
+// --- Attaché: BLEM + COPR ----------------------------------------------
+
+func (s *System) readAttache(lineAddr uint64, done func(sim.Time)) {
+	// The COPR lookup costs the same 8 cycles as a metadata-cache probe
+	// (paper §V); the request issues after it.
+	s.eng.ScheduleAfter(s.cfg.Attache.PredictorLatency, func(sim.Time) {
+		s.issueAttacheRead(lineAddr, done)
+	})
+}
+
+func (s *System) issueAttacheRead(lineAddr uint64, done func(sim.Time)) {
+	loc := s.mapper.Decode(lineAddr)
+	actual := s.compressed(lineAddr)
+	collision := s.collides(lineAddr)
+	predicted, _ := s.copr.Predict(lineAddr * config.LineSize)
+	s.Stats.CompressedReads.Observe(actual)
+	s.Stats.DataReads.Inc()
+
+	complete := func(now sim.Time) {
+		s.copr.Update(lineAddr*config.LineSize, actual)
+		done(now)
+	}
+
+	if predicted {
+		// Fetch only the header-bearing sub-rank block.
+		s.submit(&dram.Request{Loc: loc, SubRanks: subRankFor(loc), Done: func(now sim.Time) {
+			if actual {
+				complete(now) // BLEM confirms: compressed, done.
+				return
+			}
+			// Misprediction: BLEM classifies the block as uncompressed
+			// (or collided); fetch the remaining half, plus the RA bit
+			// on a collision.
+			s.Stats.CorrectionReads.Inc()
+			s.fetchRest(lineAddr, loc, collision, complete)
+		}})
+		return
+	}
+	// Predicted uncompressed: enable both sub-ranks. If the line was
+	// actually compressed the extra half was wasted bandwidth but the
+	// data is already here (no correction request).
+	s.submit(&dram.Request{Loc: loc, SubRanks: dram.SubRankBoth, Done: func(now sim.Time) {
+		if !actual && collision {
+			// XID says collision: the true data bit lives in the RA.
+			s.readRA(lineAddr, complete)
+			return
+		}
+		complete(now)
+	}})
+}
+
+// fetchRest issues the corrective second-half fetch (and RA read when the
+// line collided) after a wrong "compressed" prediction.
+func (s *System) fetchRest(lineAddr uint64, loc dram.Location, collision bool, done func(sim.Time)) {
+	other := dram.SubRank0
+	if subRankFor(loc) == dram.SubRank0 {
+		other = dram.SubRank1
+	}
+	if !collision {
+		s.submit(&dram.Request{Loc: loc, SubRanks: other, Done: done})
+		return
+	}
+	// Collision: both the remaining half and the RA bit are needed; the
+	// read completes when both arrive.
+	remaining := 2
+	merge := func(now sim.Time) {
+		remaining--
+		if remaining == 0 {
+			done(now)
+		}
+	}
+	s.submit(&dram.Request{Loc: loc, SubRanks: other, Done: merge})
+	s.readRA(lineAddr, merge)
+}
+
+func (s *System) readRA(lineAddr uint64, done func(sim.Time)) {
+	s.Stats.RAReads.Inc()
+	loc := s.mapper.Decode(s.raLineFor(lineAddr))
+	s.submit(&dram.Request{Loc: loc, SubRanks: dram.SubRankBoth, Done: done})
+}
+
+func (s *System) writeAttache(lineAddr uint64) {
+	s.Stats.DataWrites.Inc()
+	loc := s.mapper.Decode(lineAddr)
+	// The controller just compressed this line, so it knows the outcome:
+	// keep the predictor warm with write-path observations too.
+	defer s.copr.Train(lineAddr*config.LineSize, s.compressed(lineAddr))
+	if s.compressed(lineAddr) {
+		s.submit(&dram.Request{Write: true, Loc: loc, SubRanks: subRankFor(loc)})
+		return
+	}
+	s.submit(&dram.Request{Write: true, Loc: loc, SubRanks: dram.SubRankBoth})
+	if s.collides(lineAddr) {
+		// Park the displaced bit: a posted read-modify-write of the RA
+		// block, modeled as one write request.
+		s.Stats.RAWrites.Inc()
+		raLoc := s.mapper.Decode(s.raLineFor(lineAddr))
+		s.submit(&dram.Request{Write: true, Loc: raLoc, SubRanks: dram.SubRankBoth})
+	}
+}
+
+// --- Metadata-Cache system ---------------------------------------------
+
+func (s *System) readMDCache(lineAddr uint64, done func(sim.Time)) {
+	s.eng.ScheduleAfter(s.cfg.MDCache.Latency, func(sim.Time) {
+		s.issueMDCacheRead(lineAddr, done)
+	})
+}
+
+func (s *System) issueMDCacheRead(lineAddr uint64, done func(sim.Time)) {
+	loc := s.mapper.Decode(lineAddr)
+	actual := s.compressed(lineAddr)
+	s.Stats.CompressedReads.Observe(actual)
+	key := s.metaKeyFor(lineAddr)
+
+	res := s.mdc.Access(key, false)
+	if res.EvictedDirty {
+		s.writeMeta(res.VictimKey)
+	}
+	if res.Hit {
+		// The cached metadata says which sub-ranks to enable: compressed
+		// lines ride a single sub-rank.
+		s.Stats.DataReads.Inc()
+		mask := dram.SubRankBoth
+		if actual {
+			mask = subRankFor(loc)
+		}
+		s.submit(&dram.Request{Loc: loc, SubRanks: mask, Done: done})
+		return
+	}
+	// Miss: without metadata the controller cannot exploit sub-ranking
+	// for this access. It fetches the full 64-byte line conservatively
+	// and the metadata block in parallel (two consecutive requests to
+	// the same row, Fig. 7); the read completes when both have arrived,
+	// since the decompressor needs the metadata to interpret the data.
+	s.Stats.MetaReads.Inc()
+	s.Stats.DataReads.Inc()
+	remaining := 2
+	merge := func(now sim.Time) {
+		remaining--
+		if remaining == 0 {
+			done(now)
+		}
+	}
+	s.submit(&dram.Request{Loc: loc, SubRanks: dram.SubRankBoth, Done: merge})
+	s.submit(&dram.Request{Loc: s.metaLocFor(key), SubRanks: dram.SubRankBoth, Done: merge})
+}
+
+func (s *System) writeMDCache(lineAddr uint64) {
+	loc := s.mapper.Decode(lineAddr)
+	actual := s.compressed(lineAddr)
+	s.Stats.DataWrites.Inc()
+	mask := dram.SubRankBoth
+	if actual {
+		mask = subRankFor(loc)
+	}
+	s.submit(&dram.Request{Write: true, Loc: loc, SubRanks: mask})
+
+	// The write updates the line's metadata: a write access to the
+	// metadata cache. A miss installs the metadata block first.
+	key := s.metaKeyFor(lineAddr)
+	res := s.mdc.Access(key, true)
+	if res.EvictedDirty {
+		s.writeMeta(res.VictimKey)
+	}
+	if !res.Hit {
+		s.Stats.MetaReads.Inc()
+		s.submit(&dram.Request{Loc: s.metaLocFor(key), SubRanks: dram.SubRankBoth})
+	}
+}
+
+func (s *System) writeMeta(key uint64) {
+	s.Stats.MetaWrites.Inc()
+	s.submit(&dram.Request{Write: true, Loc: s.metaLocFor(key), SubRanks: dram.SubRankBoth})
+}

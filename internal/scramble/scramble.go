@@ -1,0 +1,60 @@
+// Package scramble models the data Scrambling-Descrambling unit found in
+// modern memory controllers (paper §IV-B). Scrambling XORs stored data with
+// an address-seeded pseudo-random keystream so that the bits on the DRAM
+// bus appear random regardless of content — the property that gives BLEM's
+// 15-bit CID its 2^-15 collision probability even for adversarial data
+// (e.g. all-zero lines whose top bits would otherwise never vary).
+//
+// The transform is an involution: applying it twice with the same key and
+// address recovers the original bytes, so one function serves as both
+// scrambler and descrambler.
+package scramble
+
+// Scrambler generates a per-address keystream from a boot-time key. The
+// paper's scramblers "choose hashes with memory block address as an input"
+// so identical data written to different blocks still looks different
+// (footnote 3).
+type Scrambler struct {
+	key uint64
+}
+
+// New returns a scrambler for the given boot-time key.
+func New(key uint64) *Scrambler { return &Scrambler{key: key} }
+
+// splitmix64 is the keystream generator: a full-period 64-bit mixer with
+// good avalanche behaviour, small enough to be plausible controller
+// hardware.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// keyword returns the i-th 8-byte keystream word for a block address.
+func (s *Scrambler) keyword(addr uint64, i int) uint64 {
+	return splitmix64(s.key ^ splitmix64(addr+uint64(i)*0xA24BAED4963EE407))
+}
+
+// Apply XORs data in place with the keystream for the given block address.
+// Byte k of the stream comes from keystream word k/8. Because XOR is its
+// own inverse, Apply both scrambles and descrambles.
+func (s *Scrambler) Apply(addr uint64, data []byte) {
+	for i := 0; i < len(data); i += 8 {
+		w := s.keyword(addr, i/8)
+		n := len(data) - i
+		if n > 8 {
+			n = 8
+		}
+		for j := 0; j < n; j++ {
+			data[i+j] ^= byte(w >> uint(8*j))
+		}
+	}
+}
+
+// Scrambled returns a scrambled copy of data, leaving the input intact.
+func (s *Scrambler) Scrambled(addr uint64, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	s.Apply(addr, out)
+	return out
+}

@@ -1,0 +1,141 @@
+package scramble
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyIsInvolution(t *testing.T) {
+	s := New(0xC0FFEE)
+	data := []byte("sixty-four bytes of fairly compressible test data goes here!!!!")
+	orig := append([]byte(nil), data...)
+	s.Apply(42, data)
+	if bytes.Equal(data, orig) {
+		t.Fatal("scrambling left data unchanged")
+	}
+	s.Apply(42, data)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("double scramble did not restore data")
+	}
+}
+
+func TestScrambledDoesNotMutateInput(t *testing.T) {
+	s := New(1)
+	in := make([]byte, 64)
+	out := s.Scrambled(7, in)
+	if !bytes.Equal(in, make([]byte, 64)) {
+		t.Fatal("input mutated")
+	}
+	if bytes.Equal(out, in) {
+		t.Fatal("output not scrambled")
+	}
+}
+
+func TestDifferentAddressesDifferentStreams(t *testing.T) {
+	s := New(99)
+	a := s.Scrambled(1, make([]byte, 64))
+	b := s.Scrambled(2, make([]byte, 64))
+	if bytes.Equal(a, b) {
+		t.Fatal("same keystream for different addresses")
+	}
+}
+
+func TestDifferentKeysDifferentStreams(t *testing.T) {
+	a := New(1).Scrambled(5, make([]byte, 64))
+	b := New(2).Scrambled(5, make([]byte, 64))
+	if bytes.Equal(a, b) {
+		t.Fatal("same keystream for different keys")
+	}
+}
+
+func TestShortAndOddLengths(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 30, 31, 63} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		orig := append([]byte(nil), data...)
+		s.Apply(11, data)
+		s.Apply(11, data)
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("length %d: involution failed", n)
+		}
+	}
+}
+
+// TestPrefixConsistency: the keystream for a block's first N bytes must not
+// depend on how many bytes are scrambled — BLEM scrambles variable-length
+// compressed payloads but classifies lines by their first two bytes.
+func TestPrefixConsistency(t *testing.T) {
+	s := New(123)
+	full := s.Scrambled(9, make([]byte, 64))
+	short := s.Scrambled(9, make([]byte, 16))
+	if !bytes.Equal(full[:16], short) {
+		t.Fatal("keystream prefix differs with payload length")
+	}
+}
+
+// TestTopBitsUniform verifies the statistical property BLEM relies on: the
+// top 15 bits of scrambled all-zero lines are uniformly distributed, so a
+// CID collision happens with probability ~2^-15 per line.
+func TestTopBitsUniform(t *testing.T) {
+	s := New(0xABCDEF)
+	const trials = 1 << 20
+	var buckets [16]int // bucket by top 4 bits as a cheap uniformity proxy
+	matches := 0
+	const cid = 0x1234 >> 1 // arbitrary 15-bit value
+	for addr := uint64(0); addr < trials; addr++ {
+		data := make([]byte, 2)
+		s.Apply(addr, data)
+		top15 := uint16(data[0])<<7 | uint16(data[1])>>1
+		buckets[top15>>11]++
+		if top15 == cid {
+			matches++
+		}
+	}
+	want := float64(trials) / (1 << 15) // 32 expected matches
+	if float64(matches) < want/4 || float64(matches) > want*4 {
+		t.Fatalf("CID matches = %d, want ~%.0f", matches, want)
+	}
+	exp := float64(trials) / 16
+	for i, b := range buckets {
+		if math.Abs(float64(b)-exp) > exp*0.05 {
+			t.Fatalf("bucket %d = %d, want ~%.0f (top bits not uniform)", i, b, exp)
+		}
+	}
+}
+
+// TestBitFlipAvalanche: flipping one address bit should change roughly half
+// the keystream bits.
+func TestBitFlipAvalanche(t *testing.T) {
+	s := New(77)
+	a := s.Scrambled(0x1000, make([]byte, 64))
+	b := s.Scrambled(0x1001, make([]byte, 64))
+	diff := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff < 64*8*3/10 || diff > 64*8*7/10 {
+		t.Fatalf("avalanche diff = %d bits of %d, want ~half", diff, 64*8)
+	}
+}
+
+// Property: involution holds for arbitrary data, key, and address.
+func TestInvolutionProperty(t *testing.T) {
+	f := func(key, addr uint64, data []byte) bool {
+		s := New(key)
+		orig := append([]byte(nil), data...)
+		s.Apply(addr, data)
+		s.Apply(addr, data)
+		return bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package sim provides the discrete-event simulation kernel that drives the
+// Attaché memory-system model.
+//
+// Time is measured in CPU cycles (int64). Components schedule closures at
+// absolute times; the Engine executes them in (time, insertion-order) order,
+// which makes every simulation fully deterministic for a given seed.
+package sim
+
+import "container/heap"
+
+// Time is an absolute simulation time in CPU cycles.
+type Time = int64
+
+// Event is a callback scheduled to run at a specific time.
+type Event func(now Time)
+
+type scheduledEvent struct {
+	at  Time
+	seq uint64
+	fn  Event
+}
+
+type eventQueue []scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(scheduledEvent)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is not ready to use; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	nsteps uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps reports how many events have been executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// (at < Now) is clamped to the current time: the event runs "now", after any
+// events already queued for the current time.
+func (e *Engine) Schedule(at Time, fn Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, scheduledEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter enqueues fn to run delay cycles from now.
+func (e *Engine) ScheduleAfter(delay Time, fn Event) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Step executes the single earliest event. It reports false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(scheduledEvent)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// until (exclusive). It returns the number of events executed. Pass a
+// negative until to run until the queue drains.
+func (e *Engine) Run(until Time) uint64 {
+	var n uint64
+	for e.queue.Len() > 0 {
+		if until >= 0 && e.queue[0].at >= until {
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// RunUntilDone executes events until the queue is empty, with a safety cap
+// on the number of events to guard against runaway simulations. It reports
+// whether the queue drained before the cap.
+func (e *Engine) RunUntilDone(maxEvents uint64) bool {
+	for i := uint64(0); i < maxEvents; i++ {
+		if !e.Step() {
+			return true
+		}
+	}
+	return e.queue.Len() == 0
+}

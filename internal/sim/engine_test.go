@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func(Time) { order = append(order, 3) })
+	e.Schedule(10, func(Time) { order = append(order, 1) })
+	e.Schedule(20, func(Time) { order = append(order, 2) })
+	e.RunUntilDone(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(Time) { order = append(order, i) })
+	}
+	e.RunUntilDone(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineScheduleInPastClamps(t *testing.T) {
+	e := NewEngine()
+	var ranAt Time = -1
+	e.Schedule(100, func(now Time) {
+		e.Schedule(50, func(now Time) { ranAt = now })
+	})
+	e.RunUntilDone(100)
+	if ranAt != 100 {
+		t.Fatalf("past-scheduled event ran at %d, want clamped to 100", ranAt)
+	}
+}
+
+func TestEngineScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	var ranAt Time = -1
+	e.Schedule(40, func(now Time) {
+		e.ScheduleAfter(7, func(now Time) { ranAt = now })
+	})
+	e.RunUntilDone(100)
+	if ranAt != 47 {
+		t.Fatalf("ScheduleAfter ran at %d, want 47", ranAt)
+	}
+}
+
+func TestEngineRunUntilExclusive(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func(now Time) { ran = append(ran, now) })
+	}
+	n := e.Run(3)
+	if n != 2 {
+		t.Fatalf("Run(3) executed %d events, want 2", n)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func(now Time)
+	chain = func(now Time) {
+		count++
+		if count < 100 {
+			e.ScheduleAfter(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	if !e.RunUntilDone(1000) {
+		t.Fatal("engine did not drain")
+	}
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("clock = %d, want 99", e.Now())
+	}
+}
+
+func TestEngineRunUntilDoneCap(t *testing.T) {
+	e := NewEngine()
+	var chain func(now Time)
+	chain = func(now Time) { e.ScheduleAfter(1, chain) }
+	e.Schedule(0, chain)
+	if e.RunUntilDone(50) {
+		t.Fatal("expected cap to trip on infinite chain")
+	}
+}
+
+// Property: for any set of event times, execution order is a sorted
+// permutation of the input times.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var got []Time
+		for _, at := range times {
+			at := Time(at)
+			e.Schedule(at, func(now Time) { got = append(got, now) })
+		}
+		e.RunUntilDone(uint64(len(times)) + 1)
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] > got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

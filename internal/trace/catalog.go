@@ -1,0 +1,119 @@
+package trace
+
+import "fmt"
+
+// Profile describes one benchmark's memory behaviour along the axes the
+// paper's results depend on: how much data compresses to <= 30 bytes
+// (Fig. 4), how that compressibility clusters in pages (drives COPR and
+// the metadata cache), the access pattern (drives row locality and MLP),
+// and the memory intensity (drives bandwidth pressure).
+type Profile struct {
+	Name           string
+	Suite          string // "spec", "gap", or "synthetic"
+	Pattern        Pattern
+	Stride         int    // lines, for PatternStrided
+	FootprintBytes uint64 // per-core working set
+	// CompressibleFrac is the fraction of lines compressible to <= 30 B.
+	CompressibleFrac float64
+	// PageHomogeneity is the probability that a page holds a single
+	// compressibility class.
+	PageHomogeneity float64
+	StoreFrac       float64
+	// MeanGap is the mean number of instructions per LLC-reaching memory
+	// reference (inverse of memory intensity).
+	MeanGap int64
+	// HotProb/HotFrac skew irregular patterns toward a hot region:
+	// HotProb of accesses land in the first HotFrac of the footprint
+	// (power-law reuse, see Generator.pick). Zero means uniform.
+	HotProb float64
+	HotFrac float64
+	// SpatialBurst is the mean number of consecutive touches an
+	// irregular pattern makes within one page before jumping (struct and
+	// field locality); 0 or 1 means every access jumps.
+	SpatialBurst int
+	// DataSeed decorrelates data content across benchmarks.
+	DataSeed uint64
+}
+
+// DataModel builds the content model for this profile.
+func (p Profile) DataModel() *DataModel {
+	return NewDataModel(p.DataSeed, p.CompressibleFrac, p.PageHomogeneity)
+}
+
+const mb = 1 << 20
+
+// Catalog returns the benchmark profiles used across all experiments: the
+// memory-intensive SPEC2006 and GAP workloads the paper evaluates (>1
+// LLC MPKI, §V) plus the RAND and STREAM synthetics of Fig. 12/13.
+// Compressibility and locality parameters are calibrated so the suite
+// averages match the paper's reported aggregates: ~50% of lines
+// compressible (Fig. 4), ~77% 1MB-metadata-cache hit rate (Fig. 5/16),
+// ~88% COPR accuracy (Fig. 11).
+func Catalog() []Profile {
+	return []Profile{
+		// SPEC CPU2006, memory-intensive subset.
+		{Name: "mcf", Suite: "spec", Pattern: PatternPointerChase, FootprintBytes: 96 * mb, CompressibleFrac: 0.38, PageHomogeneity: 0.70, StoreFrac: 0.26, MeanGap: 14, HotProb: 0.72, HotFrac: 0.06, SpatialBurst: 4, DataSeed: 101},
+		{Name: "lbm", Suite: "spec", Pattern: PatternStream, FootprintBytes: 64 * mb, CompressibleFrac: 0.56, PageHomogeneity: 0.95, StoreFrac: 0.45, MeanGap: 22, DataSeed: 102},
+		{Name: "libquantum", Suite: "spec", Pattern: PatternStream, FootprintBytes: 64 * mb, CompressibleFrac: 0.04, PageHomogeneity: 0.98, StoreFrac: 0.25, MeanGap: 18, DataSeed: 103},
+		{Name: "soplex", Suite: "spec", Pattern: PatternPageLocal, FootprintBytes: 64 * mb, CompressibleFrac: 0.62, PageHomogeneity: 0.85, StoreFrac: 0.22, MeanGap: 28, HotProb: 0.55, HotFrac: 0.10, DataSeed: 104},
+		{Name: "milc", Suite: "spec", Pattern: PatternRandom, FootprintBytes: 96 * mb, CompressibleFrac: 0.46, PageHomogeneity: 0.82, StoreFrac: 0.30, MeanGap: 30, HotProb: 0.55, HotFrac: 0.10, SpatialBurst: 3, DataSeed: 105},
+		{Name: "omnetpp", Suite: "spec", Pattern: PatternRandom, FootprintBytes: 48 * mb, CompressibleFrac: 0.52, PageHomogeneity: 0.75, StoreFrac: 0.32, MeanGap: 34, HotProb: 0.60, HotFrac: 0.08, SpatialBurst: 3, DataSeed: 106},
+		{Name: "bwaves", Suite: "spec", Pattern: PatternStream, FootprintBytes: 96 * mb, CompressibleFrac: 0.52, PageHomogeneity: 0.92, StoreFrac: 0.38, MeanGap: 24, DataSeed: 107},
+		{Name: "leslie3d", Suite: "spec", Pattern: PatternStrided, Stride: 3, FootprintBytes: 64 * mb, CompressibleFrac: 0.58, PageHomogeneity: 0.90, StoreFrac: 0.35, MeanGap: 30, DataSeed: 108},
+		{Name: "sphinx3", Suite: "spec", Pattern: PatternPageLocal, FootprintBytes: 48 * mb, CompressibleFrac: 0.36, PageHomogeneity: 0.78, StoreFrac: 0.15, MeanGap: 36, HotProb: 0.50, HotFrac: 0.10, SpatialBurst: 3, DataSeed: 109},
+		{Name: "GemsFDTD", Suite: "spec", Pattern: PatternStrided, Stride: 5, FootprintBytes: 96 * mb, CompressibleFrac: 0.62, PageHomogeneity: 0.88, StoreFrac: 0.40, MeanGap: 26, DataSeed: 110},
+		{Name: "zeusmp", Suite: "spec", Pattern: PatternPageLocal, FootprintBytes: 64 * mb, CompressibleFrac: 0.68, PageHomogeneity: 0.90, StoreFrac: 0.36, MeanGap: 38, HotProb: 0.50, HotFrac: 0.12, DataSeed: 111},
+		{Name: "cactusADM", Suite: "spec", Pattern: PatternStrided, Stride: 7, FootprintBytes: 64 * mb, CompressibleFrac: 0.48, PageHomogeneity: 0.86, StoreFrac: 0.33, MeanGap: 42, DataSeed: 112},
+		{Name: "wrf", Suite: "spec", Pattern: PatternPageLocal, FootprintBytes: 64 * mb, CompressibleFrac: 0.56, PageHomogeneity: 0.88, StoreFrac: 0.30, MeanGap: 40, HotProb: 0.50, HotFrac: 0.12, DataSeed: 113},
+		{Name: "gcc", Suite: "spec", Pattern: PatternPageLocal, FootprintBytes: 32 * mb, CompressibleFrac: 0.74, PageHomogeneity: 0.80, StoreFrac: 0.28, MeanGap: 44, HotProb: 0.60, HotFrac: 0.10, DataSeed: 114},
+		// GAP graph kernels on kron input.
+		{Name: "bc.kron", Suite: "gap", Pattern: PatternPointerChase, FootprintBytes: 128 * mb, CompressibleFrac: 0.42, PageHomogeneity: 0.48, StoreFrac: 0.20, MeanGap: 10, HotProb: 0.72, HotFrac: 0.05, SpatialBurst: 1, DataSeed: 201},
+		{Name: "bfs.kron", Suite: "gap", Pattern: PatternPointerChase, FootprintBytes: 128 * mb, CompressibleFrac: 0.50, PageHomogeneity: 0.52, StoreFrac: 0.22, MeanGap: 12, HotProb: 0.70, HotFrac: 0.05, SpatialBurst: 2, DataSeed: 202},
+		{Name: "cc.kron", Suite: "gap", Pattern: PatternPointerChase, FootprintBytes: 128 * mb, CompressibleFrac: 0.46, PageHomogeneity: 0.52, StoreFrac: 0.24, MeanGap: 11, HotProb: 0.70, HotFrac: 0.05, SpatialBurst: 2, DataSeed: 203},
+		{Name: "pr.kron", Suite: "gap", Pattern: PatternPageLocal, FootprintBytes: 128 * mb, CompressibleFrac: 0.56, PageHomogeneity: 0.58, StoreFrac: 0.28, MeanGap: 13, HotProb: 0.70, HotFrac: 0.05, DataSeed: 204},
+		{Name: "sssp.kron", Suite: "gap", Pattern: PatternPointerChase, FootprintBytes: 128 * mb, CompressibleFrac: 0.40, PageHomogeneity: 0.46, StoreFrac: 0.22, MeanGap: 12, HotProb: 0.68, HotFrac: 0.05, SpatialBurst: 2, DataSeed: 205},
+		{Name: "tc.kron", Suite: "gap", Pattern: PatternRandom, FootprintBytes: 128 * mb, CompressibleFrac: 0.34, PageHomogeneity: 0.50, StoreFrac: 0.12, MeanGap: 16, HotProb: 0.60, HotFrac: 0.08, SpatialBurst: 2, DataSeed: 206},
+		// Synthetics (Fig. 12/13 robustness columns).
+		{Name: "RAND", Suite: "synthetic", Pattern: PatternRandom, FootprintBytes: 256 * mb, CompressibleFrac: 0.50, PageHomogeneity: 0.0, StoreFrac: 0.30, MeanGap: 22, DataSeed: 301},
+		{Name: "STREAM", Suite: "synthetic", Pattern: PatternStream, FootprintBytes: 256 * mb, CompressibleFrac: 0.50, PageHomogeneity: 1.0, StoreFrac: 0.33, MeanGap: 16, DataSeed: 302},
+	}
+}
+
+// ByName finds a catalog profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// Mix is an 8-threaded mixed workload: one profile per core (paper §V:
+// two benchmarks drawn from each of four compressibility categories).
+type Mix struct {
+	Name    string
+	PerCore []string // 8 benchmark names
+}
+
+// Mixes returns the two mixed workloads of the evaluation.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "MIX1", PerCore: []string{
+			"gcc", "zeusmp", "lbm", "bwaves", "sphinx3", "mcf", "libquantum", "bc.kron",
+		}},
+		{Name: "MIX2", PerCore: []string{
+			"soplex", "GemsFDTD", "milc", "pr.kron", "omnetpp", "tc.kron", "libquantum", "sssp.kron",
+		}},
+	}
+}
+
+// Names lists every single-benchmark workload in catalog order.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, p := range cat {
+		names[i] = p.Name
+	}
+	return names
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceBasic(t *testing.T) {
+	in := `
+# a comment
+R 0x1000
+W 4096 12
+read 0x2040 3
+ST 128
+`
+	ft, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Len() != 4 {
+		t.Fatalf("len = %d, want 4", ft.Len())
+	}
+	a := ft.Next()
+	if a.LineAddr != 0x1000/64 || a.Store || a.Gap != 1 {
+		t.Fatalf("access 1 = %+v", a)
+	}
+	a = ft.Next()
+	if a.LineAddr != 64 || !a.Store || a.Gap != 12 {
+		t.Fatalf("access 2 = %+v", a)
+	}
+	a = ft.Next()
+	if a.LineAddr != 0x2040/64 || a.Store {
+		t.Fatalf("access 3 = %+v", a)
+	}
+	a = ft.Next()
+	if !a.Store || a.LineAddr != 2 {
+		t.Fatalf("access 4 = %+v", a)
+	}
+	// Loops.
+	a = ft.Next()
+	if a.LineAddr != 0x1000/64 {
+		t.Fatal("trace did not loop")
+	}
+	ft.Rewind()
+	if ft.Next().LineAddr != 0x1000/64 {
+		t.Fatal("rewind failed")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"R",                // missing address
+		"X 0x1000",         // unknown op
+		"R zzz",            // bad address
+		"R 0x10 0",         // bad gap
+		"R 0x10 1 extra x", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q: expected error", c)
+		}
+	}
+}
+
+func TestFileTraceIsSource(t *testing.T) {
+	var _ Source = &FileTrace{}
+	var _ Source = &Generator{}
+}
+
+// Fuzz-ish robustness: random byte soup must never panic the parser.
+func TestParseTraceRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			// Mostly printable with occasional control bytes.
+			if rng.Intn(10) == 0 {
+				buf[i] = byte(rng.Intn(256))
+			} else {
+				buf[i] = byte(32 + rng.Intn(95))
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseTrace panicked on %q: %v", buf, r)
+				}
+			}()
+			ParseTrace(strings.NewReader(string(buf)))
+		}()
+	}
+}
+
+func TestParseTraceLargeAddresses(t *testing.T) {
+	ft, err := ParseTrace(strings.NewReader("R 0xffffffffffc0\nW 0xFFFFFFFFFFFF 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := ft.Next(); a.LineAddr != 0xffffffffffc0/64 {
+		t.Fatalf("addr = %#x", a.LineAddr)
+	}
+}

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: arbitrary text must either parse into a valid trace or
+// return an error — never panic, never produce a zero-length trace.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("R 0x1000\nW 64 5\n")
+	f.Add("# comment only\n")
+	f.Add("read 0\n")
+	f.Add("R")
+	f.Fuzz(func(t *testing.T, input string) {
+		ft, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if ft.Len() == 0 {
+			t.Fatal("parsed trace with zero accesses")
+		}
+		for i := 0; i < ft.Len()+1; i++ {
+			a := ft.Next() // looping must stay in bounds
+			if a.Gap < 1 {
+				t.Fatal("parsed gap below 1")
+			}
+		}
+	})
+}

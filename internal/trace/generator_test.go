@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func miniProfile(p Pattern) Profile {
+	return Profile{
+		Name: "test", Pattern: p, Stride: 3,
+		FootprintBytes: 1 << 20, CompressibleFrac: 0.5,
+		PageHomogeneity: 0.8, StoreFrac: 0.3, MeanGap: 20, DataSeed: 1,
+	}
+}
+
+func TestStreamIsSequential(t *testing.T) {
+	g := NewGenerator(miniProfile(PatternStream), 1, 0)
+	prev := g.Next().LineAddr
+	for i := 0; i < 1000; i++ {
+		cur := g.Next().LineAddr
+		if cur != prev+1 && cur != 0 { // wrap allowed
+			t.Fatalf("stream jumped from %d to %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestStridedUsesStride(t *testing.T) {
+	g := NewGenerator(miniProfile(PatternStrided), 1, 0)
+	prev := g.Next().LineAddr
+	for i := 0; i < 100; i++ {
+		cur := g.Next().LineAddr
+		if cur > prev && cur-prev != 3 {
+			t.Fatalf("stride = %d, want 3", cur-prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPointerChaseMarksDependent(t *testing.T) {
+	g := NewGenerator(miniProfile(PatternPointerChase), 1, 0)
+	for i := 0; i < 100; i++ {
+		if !g.Next().Dependent {
+			t.Fatal("pointer-chase access not dependent")
+		}
+	}
+	g2 := NewGenerator(miniProfile(PatternRandom), 1, 0)
+	for i := 0; i < 100; i++ {
+		if g2.Next().Dependent {
+			t.Fatal("random access should not be dependent")
+		}
+	}
+}
+
+func TestPageLocalBursts(t *testing.T) {
+	g := NewGenerator(miniProfile(PatternPageLocal), 1, 0)
+	samePage := 0
+	prevPage := g.Next().LineAddr / LinesPerPage
+	const n = 5000
+	for i := 0; i < n; i++ {
+		page := g.Next().LineAddr / LinesPerPage
+		if page == prevPage {
+			samePage++
+		}
+		prevPage = page
+	}
+	if float64(samePage)/n < 0.6 {
+		t.Fatalf("page-local same-page rate = %.2f, want > 0.6", float64(samePage)/n)
+	}
+}
+
+func TestAddressesStayInCoreSlice(t *testing.T) {
+	prof := miniProfile(PatternRandom)
+	lines := prof.FootprintBytes / LineSize
+	for core := 0; core < 3; core++ {
+		g := NewGenerator(prof, 7, core)
+		lo, hi := uint64(core)*lines, uint64(core+1)*lines
+		for i := 0; i < 2000; i++ {
+			a := g.Next().LineAddr
+			if a < lo || a >= hi {
+				t.Fatalf("core %d produced address %d outside [%d,%d)", core, a, lo, hi)
+			}
+		}
+	}
+}
+
+func TestGapMeanApproximatesProfile(t *testing.T) {
+	g := NewGenerator(miniProfile(PatternRandom), 3, 0)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Gap < 1 {
+			t.Fatal("gap must be >= 1")
+		}
+		sum += float64(a.Gap)
+	}
+	mean := sum / n
+	if math.Abs(mean-20) > 3 {
+		t.Fatalf("mean gap = %.1f, want ~20", mean)
+	}
+}
+
+func TestStoreFraction(t *testing.T) {
+	g := NewGenerator(miniProfile(PatternRandom), 5, 0)
+	stores := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Store {
+			stores++
+		}
+	}
+	got := float64(stores) / n
+	if math.Abs(got-0.3) > 0.03 {
+		t.Fatalf("store fraction = %.3f, want ~0.3", got)
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	a := NewGenerator(miniProfile(PatternRandom), 9, 2)
+	b := NewGenerator(miniProfile(PatternRandom), 9, 2)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("generators with same seed diverge")
+		}
+	}
+	c := NewGenerator(miniProfile(PatternRandom), 10, 2)
+	diverged := false
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorPanicsOnTinyFootprint(t *testing.T) {
+	p := miniProfile(PatternRandom)
+	p.FootprintBytes = 64
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(p, 1, 0)
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		PatternStream: "stream", PatternRandom: "random",
+		PatternPointerChase: "pointer-chase", PatternStrided: "strided",
+		PatternPageLocal: "page-local", Pattern(9): "Pattern(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", uint8(p), p.String())
+		}
+	}
+}
+
+func TestCatalogProperties(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 20 {
+		t.Fatalf("catalog has %d profiles, want >= 20", len(cat))
+	}
+	var compSum float64
+	seen := map[string]bool{}
+	for _, p := range cat {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.CompressibleFrac < 0 || p.CompressibleFrac > 1 {
+			t.Fatalf("%s: bad compressible fraction", p.Name)
+		}
+		if p.MeanGap < 1 {
+			t.Fatalf("%s: bad gap", p.Name)
+		}
+		if p.Pattern == PatternStrided && p.Stride < 2 {
+			t.Fatalf("%s: strided profile needs a stride", p.Name)
+		}
+		compSum += p.CompressibleFrac
+	}
+	// Paper Fig. 4: on average ~50% of lines compress to 30 bytes.
+	avg := compSum / float64(len(cat))
+	if avg < 0.45 || avg < 0.4 || avg > 0.55 {
+		t.Fatalf("catalog average compressibility = %.3f, want ~0.50", avg)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMixesReferToCatalogBenchmarks(t *testing.T) {
+	for _, m := range Mixes() {
+		if len(m.PerCore) != 8 {
+			t.Fatalf("%s: %d cores, want 8", m.Name, len(m.PerCore))
+		}
+		for _, n := range m.PerCore {
+			if _, err := ByName(n); err != nil {
+				t.Fatalf("%s references unknown benchmark %q", m.Name, n)
+			}
+		}
+	}
+}
+
+func TestProfileDataModelWiring(t *testing.T) {
+	p, _ := ByName("libquantum")
+	d := p.DataModel()
+	comp := 0
+	for addr := uint64(0); addr < 10000; addr++ {
+		if d.Compressible(addr) {
+			comp++
+		}
+	}
+	// libquantum is essentially incompressible in the paper.
+	if comp > 1000 {
+		t.Fatalf("libquantum compressible lines = %d/10000, want few", comp)
+	}
+}
