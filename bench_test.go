@@ -306,12 +306,13 @@ func BenchmarkAblationExtendedEngine(b *testing.B) {
 		std := 0
 		ext := 0
 		const samples = 2000
+		scratch := make([]byte, trace.LineSize)
 		for _, p := range trace.Catalog() {
 			dm := p.DataModel()
 			se := benchStdEngine()
 			ee := benchExtEngine()
 			for a := uint64(0); a < samples; a++ {
-				line := dm.Line(a)
+				line := dm.LineInto(a, scratch)
 				if se.Compressible(line) {
 					std++
 				}

@@ -12,6 +12,11 @@
 // the paper's shapes are stable from scale 1 upward. Results are printed
 // as aligned tables with a final mean row where the paper reports an
 // average.
+//
+// Simulations fan out across -parallel worker goroutines (default: all
+// CPUs). Runs are deterministic and aggregated in a fixed order, so the
+// tables are byte-identical at any parallelism. -cpuprofile/-memprofile
+// write pprof profiles for performance work.
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,10 +43,41 @@ func main() {
 		format     = flag.String("format", "table", "output format: table or csv")
 		outDir     = flag.String("out", "", "also write each result to <dir>/<id>.txt and <id>.csv")
 		report     = flag.String("report", "", "run every experiment and write a markdown report to this file")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (results are identical at any value)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+			}
+		}()
+	}
+
 	h := exp.NewHarness(*scale)
+	h.Parallelism = *parallel
 	order, runners := h.Experiments()
 
 	if *list {
@@ -99,6 +137,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "attachesim: unknown format %q (want table or csv)\n", *format)
 		os.Exit(2)
 	}
+	h.Prefetch(ids...)
 	for _, id := range ids {
 		start := time.Now()
 		tab, err := runners[id]()

@@ -54,6 +54,9 @@ type bdiShape struct {
 	delta int // delta size in bytes
 }
 
+// bdiShapes is ordered by encoded size (bdiShapeSize ascending: 18, 23,
+// 26, 39, 39, 42 bytes). BDICompress and BDISize rely on this order to
+// return the first shape that fits, which is also the smallest.
 var bdiShapes = []bdiShape{
 	{BDIB8D1, 8, 1},
 	{BDIB4D1, 4, 1},
@@ -62,6 +65,10 @@ var bdiShapes = []bdiShape{
 	{BDIB4D2, 4, 2},
 	{BDIB8D4, 8, 4},
 }
+
+// bdiMaxSegs is the largest segment count any shape produces (2-byte
+// segments of a 64-byte line) — the scratch-array bound for the planners.
+const bdiMaxSegs = LineSize / 2
 
 // bdiShapeSize reports the encoded byte size for a base-delta shape:
 // encoding byte + immediate mask + base + one delta per segment.
@@ -86,21 +93,16 @@ func BDICompress(line []byte) (encoded []byte, ok bool) {
 		binary.LittleEndian.PutUint64(out[1:], v)
 		return out, true
 	}
-	best := []byte(nil)
+	var segs [bdiMaxSegs]uint64
+	var immediate [bdiMaxSegs]bool
 	for _, s := range bdiShapes {
-		if best != nil && bdiShapeSize(s) >= len(best) {
+		base, ok := bdiPlan(line, s, &segs, &immediate)
+		if !ok {
 			continue
 		}
-		if enc := tryBaseDelta(line, s); enc != nil {
-			if best == nil || len(enc) < len(best) {
-				best = enc
-			}
-		}
+		return bdiEncode(s, base, &segs, &immediate), true
 	}
-	if best == nil {
-		return nil, false
-	}
-	return best, true
+	return nil, false
 }
 
 // BDIDecompress reverses BDICompress. It returns an error on a malformed
@@ -133,13 +135,26 @@ func BDIDecompress(encoded []byte) ([]byte, error) {
 }
 
 // BDISize reports the compressed size in bytes BDI achieves for line, or
-// LineSize when the line is incompressible under BDI.
+// LineSize when the line is incompressible under BDI. Unlike BDICompress
+// it allocates nothing: it only plans the encodings.
 func BDISize(line []byte) int {
-	enc, ok := BDICompress(line)
-	if !ok {
-		return LineSize
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("compress: BDISize needs a %d-byte line, got %d", LineSize, len(line)))
 	}
-	return len(enc)
+	if isZeros(line) {
+		return 1
+	}
+	if _, rep := repeated8(line); rep {
+		return 9
+	}
+	var segs [bdiMaxSegs]uint64
+	var immediate [bdiMaxSegs]bool
+	for _, s := range bdiShapes {
+		if _, ok := bdiPlan(line, s, &segs, &immediate); ok {
+			return bdiShapeSize(s)
+		}
+	}
+	return LineSize
 }
 
 func isZeros(line []byte) bool {
@@ -175,45 +190,51 @@ func writeSeg(out []byte, off, size int, v uint64) {
 	}
 }
 
-// tryBaseDelta attempts the given shape. Each segment is stored either as a
-// delta from the line's base (the first non-immediate segment) or, when it
-// is small on its own, as an "immediate" delta from zero; a bitmask records
-// which. Returns nil when some segment fits neither.
-func tryBaseDelta(line []byte, s bdiShape) []byte {
+// bdiPlan decides whether the given shape fits. Each segment is stored
+// either as a delta from the line's base (the first non-immediate segment)
+// or, when it is small on its own, as an "immediate" delta from zero.
+// Segment values and the immediate flags land in the caller's scratch
+// arrays (no allocation) for bdiEncode; ok is false when some segment fits
+// neither form.
+func bdiPlan(line []byte, s bdiShape, segs *[bdiMaxSegs]uint64, immediate *[bdiMaxSegs]bool) (base uint64, ok bool) {
 	nseg := LineSize / s.seg
 	segBits := s.seg * 8
 	deltaBits := s.delta * 8
 
-	segs := make([]uint64, nseg)
-	for i := 0; i < nseg; i++ {
-		segs[i] = readSeg(line, i*s.seg, s.seg)
-	}
-
-	immediate := make([]bool, nseg)
-	var base uint64
 	haveBase := false
-	for i, v := range segs {
+	for i := 0; i < nseg; i++ {
+		v := readSeg(line, i*s.seg, s.seg)
+		segs[i] = v
 		if fitsSigned(signExtend(v, segBits), deltaBits) {
 			immediate[i] = true
 			continue
 		}
+		immediate[i] = false
 		if !haveBase {
 			base = v
 			haveBase = true
 		}
 		delta := (v - base) & maskBits(segBits)
 		if !fitsSigned(signExtend(delta, segBits), deltaBits) {
-			return nil
+			return 0, false
 		}
 	}
+	return base, true
+}
 
+// bdiEncode materializes the encoding bdiPlan validated.
+func bdiEncode(s bdiShape, base uint64, segs *[bdiMaxSegs]uint64, immediate *[bdiMaxSegs]bool) []byte {
+	nseg := LineSize / s.seg
+	segBits := s.seg * 8
+	deltaBits := s.delta * 8
 	out := make([]byte, bdiShapeSize(s))
 	out[0] = byte(s.enc)
 	maskOff := 1
 	baseOff := maskOff + nseg/8
 	deltaOff := baseOff + s.seg
 	writeSeg(out, baseOff, s.seg, base)
-	for i, v := range segs {
+	for i := 0; i < nseg; i++ {
+		v := segs[i]
 		if immediate[i] {
 			out[maskOff+i/8] |= 1 << uint(i%8)
 			writeSeg(out, deltaOff+i*s.delta, s.delta, v&maskBits(deltaBits))

@@ -33,8 +33,10 @@ func CPackCompress(line []byte) (encoded []byte, ok bool) {
 	if len(line) != LineSize {
 		panic(fmt.Sprintf("compress: CPackCompress needs a %d-byte line, got %d", LineSize, len(line)))
 	}
-	var w BitWriter
-	var dict []uint32
+	// Worst case is 16 uncompressed words: 16 x 34 bits = 68 bytes.
+	w := BitWriter{buf: make([]byte, 0, 68)}
+	var dictArr [cpackDictSize]uint32
+	dict := dictArr[:0]
 	for i := 0; i < fpcWords; i++ {
 		word := binary.LittleEndian.Uint32(line[i*4:])
 		switch {
@@ -174,13 +176,40 @@ func cpackDecodeWord(r *BitReader, dict []uint32) (word uint32, pushed bool, err
 }
 
 // CPackSize reports the compressed size CPack achieves, or LineSize when
-// it does not beat the raw line.
+// it does not beat the raw line. Unlike CPackCompress it allocates
+// nothing: it runs the same dictionary walk but only counts code widths.
 func CPackSize(line []byte) int {
-	enc, ok := CPackCompress(line)
-	if !ok {
-		return LineSize
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("compress: CPackSize needs a %d-byte line, got %d", LineSize, len(line)))
 	}
-	return len(enc)
+	var dictArr [cpackDictSize]uint32
+	dict := dictArr[:0]
+	bits := 0
+	for i := 0; i < fpcWords; i++ {
+		word := binary.LittleEndian.Uint32(line[i*4:])
+		switch {
+		case word == 0:
+			bits += 2
+		case word&0xFFFFFF00 == 0:
+			bits += 4 + 8
+		default:
+			switch _, kind := cpackMatch(dict, word); kind {
+			case 2:
+				bits += 2 + 4
+			case 1:
+				bits += 4 + 4 + 8
+			case 0:
+				bits += 4 + 4 + 16
+			default:
+				bits += 2 + 32
+			}
+			dict = cpackPush(dict, word)
+		}
+	}
+	if n := (bits + 7) / 8; n < LineSize {
+		return n
+	}
+	return LineSize
 }
 
 // cpackEncodedLen walks a CPack bitstream and reports its byte length,

@@ -40,8 +40,15 @@ type Compressed struct {
 }
 
 // Size reports the stored payload size in bytes: the packed form that
-// actually lands in a sub-rank (see Pack).
-func (c Compressed) Size() int { return len(c.Pack()) }
+// actually lands in a sub-rank (see Pack). It allocates nothing.
+func (c Compressed) Size() int {
+	switch c.Algo {
+	case AlgoFPC, AlgoCPack:
+		return 1 + len(c.Payload) // one tag byte (see Pack)
+	default:
+		return len(c.Payload)
+	}
+}
 
 // fpcTag and cpackTag mark packed FPC/CPack payloads. BDI payloads are
 // self-tagging: their first byte is a BDIEncoding in [0, 7], so any first
@@ -113,28 +120,29 @@ func NewEngine() *Engine { return &Engine{Target: 30} }
 func NewExtendedEngine() *Engine { return &Engine{Target: 30, EnableCPack: true} }
 
 // Compress runs both codecs and returns the smaller result. When neither
-// codec reaches the target, the result carries AlgoNone with the raw line so
-// callers can store it directly.
+// codec reaches the target, the result carries AlgoNone with a copy of the
+// raw line so callers can store it directly.
 func (e *Engine) Compress(line []byte) Compressed {
 	if len(line) != LineSize {
 		panic(fmt.Sprintf("compress: Engine.Compress needs a %d-byte line, got %d", LineSize, len(line)))
 	}
-	bdi, bdiOK := BDICompress(line)
-	fpc, fpcOK := FPCCompress(line)
-
-	best := Compressed{Algo: AlgoNone, Payload: append([]byte(nil), line...)}
-	if bdiOK && len(bdi) <= e.Target {
+	best := Compressed{Algo: AlgoNone}
+	if bdi, ok := BDICompress(line); ok && len(bdi) <= e.Target {
 		best = Compressed{Algo: AlgoBDI, Payload: bdi}
 	}
 	// FPC pays one tag byte in packed form (see Pack).
-	if fpcOK && len(fpc)+1 <= e.Target && (best.Algo == AlgoNone || len(fpc)+1 < len(best.Pack())) {
+	if fpc, ok := FPCCompress(line); ok && len(fpc)+1 <= e.Target &&
+		(best.Algo == AlgoNone || len(fpc)+1 < best.Size()) {
 		best = Compressed{Algo: AlgoFPC, Payload: fpc}
 	}
 	if e.EnableCPack {
 		if cp, ok := CPackCompress(line); ok && len(cp)+1 <= e.Target &&
-			(best.Algo == AlgoNone || len(cp)+1 < len(best.Pack())) {
+			(best.Algo == AlgoNone || len(cp)+1 < best.Size()) {
 			best = Compressed{Algo: AlgoCPack, Payload: cp}
 		}
+	}
+	if best.Algo == AlgoNone {
+		best.Payload = append([]byte(nil), line...)
 	}
 	return best
 }
@@ -160,9 +168,22 @@ func (e *Engine) Decompress(c Compressed) ([]byte, error) {
 
 // Compressible reports whether line compresses to at most the engine's
 // target payload under either codec. This is the predicate the whole paper
-// is built on ("compressible to 30 bytes", Fig. 4).
+// is built on ("compressible to 30 bytes", Fig. 4). It runs the size-only
+// codec paths, so it allocates nothing.
 func (e *Engine) Compressible(line []byte) bool {
-	return e.Compress(line).Algo != AlgoNone
+	if s := BDISize(line); s < LineSize && s <= e.Target {
+		return true
+	}
+	// FPC and CPack pay one tag byte in packed form (see Pack).
+	if s := FPCSize(line); s < LineSize && s+1 <= e.Target {
+		return true
+	}
+	if e.EnableCPack {
+		if s := CPackSize(line); s < LineSize && s+1 <= e.Target {
+			return true
+		}
+	}
+	return false
 }
 
 // BestSize reports the smallest size either codec achieves regardless of

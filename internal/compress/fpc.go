@@ -31,7 +31,8 @@ func FPCCompress(line []byte) (encoded []byte, ok bool) {
 	if len(line) != LineSize {
 		panic(fmt.Sprintf("compress: FPCCompress needs a %d-byte line, got %d", LineSize, len(line)))
 	}
-	var w BitWriter
+	// Worst case is 16 uncompressed words: 16 x 35 bits = 70 bytes.
+	w := BitWriter{buf: make([]byte, 0, 70)}
 	for i := 0; i < fpcWords; i++ {
 		word := binary.LittleEndian.Uint32(line[i*4:])
 		pat, data := fpcClassify(word)
@@ -70,13 +71,21 @@ func FPCDecompress(encoded []byte) ([]byte, error) {
 }
 
 // FPCSize reports the compressed size in bytes FPC achieves for line, or
-// LineSize when FPC does not beat the raw line.
+// LineSize when FPC does not beat the raw line. Unlike FPCCompress it
+// allocates nothing: the size needs only the per-word pattern widths.
 func FPCSize(line []byte) int {
-	enc, ok := FPCCompress(line)
-	if !ok {
-		return LineSize
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("compress: FPCSize needs a %d-byte line, got %d", LineSize, len(line)))
 	}
-	return len(enc)
+	bits := 0
+	for i := 0; i < fpcWords; i++ {
+		pat, _ := fpcClassify(binary.LittleEndian.Uint32(line[i*4:]))
+		bits += 3 + fpcDataBits[pat]
+	}
+	if n := (bits + 7) / 8; n < LineSize {
+		return n
+	}
+	return LineSize
 }
 
 func fpcClassify(word uint32) (pattern int, data uint32) {

@@ -64,6 +64,7 @@ type Core struct {
 
 	wakePending bool
 	wakeAt      sim.Time
+	tickFn      sim.Event // cached method value: avoids a closure per wake
 
 	Stats Stats
 }
@@ -80,6 +81,7 @@ func NewCore(eng *sim.Engine, id int, cfg Config, gen trace.Source, target int64
 		eng: eng, id: id, cfg: cfg, gen: gen, mem: mem,
 		target: target, onFinish: onFinish, blockedAt: -1,
 	}
+	c.tickFn = c.tick
 	return c
 }
 
@@ -113,7 +115,7 @@ func (c *Core) wake(at sim.Time) {
 	}
 	c.wakePending = true
 	c.wakeAt = at
-	c.eng.Schedule(at, c.tick)
+	c.eng.Schedule(at, c.tickFn)
 }
 
 // robLimit reports the highest instruction position the core may issue:

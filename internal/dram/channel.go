@@ -77,6 +77,7 @@ type Channel struct {
 	nextRefresh sim.Time
 	wakeAt      sim.Time
 	wakePending bool
+	tickFn      sim.Event // cached method value: avoids a closure per wake
 
 	// Converted timing, in CPU cycles.
 	tRCD, tRP, tCAS, tBurst, tRFC, tREFI, tFAW sim.Time
@@ -109,6 +110,7 @@ func NewChannel(eng *sim.Engine, cfg config.Config, id int) *Channel {
 	c.banks[0] = make([]bank, nb)
 	c.banks[1] = make([]bank, nb)
 	c.nextRefresh = c.tREFI
+	c.tickFn = c.tick
 	return c
 }
 
@@ -147,7 +149,7 @@ func (c *Channel) wake(at sim.Time) {
 	}
 	c.wakePending = true
 	c.wakeAt = at
-	c.eng.Schedule(at, c.tick)
+	c.eng.Schedule(at, c.tickFn)
 }
 
 func (c *Channel) tick(now sim.Time) {

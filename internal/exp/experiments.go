@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"attache/internal/blem"
 	"attache/internal/compress"
@@ -17,15 +19,43 @@ import (
 
 // Harness runs the paper's experiments with memoized simulation results,
 // so figures that share runs (12/13/14 share the four-system sweep;
-// 1/11/15 reuse slices of it) pay for them once.
+// 1/11/15 reuse slices of it) pay for them once. The memo cache is
+// concurrency-safe with singleflight semantics: two goroutines asking for
+// the same run execute it exactly once. Prefetch fans the planned runs of
+// a set of experiments across Parallelism workers; results are identical
+// to serial execution because every run is an independent deterministic
+// simulation and aggregation always happens in experiment order.
 type Harness struct {
 	Cfg             config.Config
 	AccessesPerCore int64
 	Seeds           []int64
-	// Progress, when set, receives one line per completed run.
+	// Progress, when set, receives one line per completed run. Calls are
+	// serialized by an internal mutex so concurrent runs do not interleave
+	// mid-line.
 	Progress func(msg string)
+	// Parallelism bounds how many simulations Prefetch executes
+	// concurrently. Values <= 0 fall back to runtime.GOMAXPROCS(0).
+	// Results do not depend on it.
+	Parallelism int
 
-	cache map[string]Metrics
+	mu         sync.Mutex // guards cache and inflight
+	cache      map[string]cachedRun
+	inflight   map[string]*inflightRun
+	progressMu sync.Mutex
+}
+
+// cachedRun memoizes one run's outcome; errors are cached too, so a failed
+// simulation is not retried by every figure that shares it.
+type cachedRun struct {
+	m   Metrics
+	err error
+}
+
+// inflightRun is the singleflight rendezvous for one executing run.
+type inflightRun struct {
+	done chan struct{} // closed when m/err are final
+	m    Metrics
+	err  error
 }
 
 // NewHarness builds a harness; scale multiplies the default per-core
@@ -39,7 +69,9 @@ func NewHarness(scale float64) *Harness {
 		Cfg:             config.Default(),
 		AccessesPerCore: n,
 		Seeds:           []int64{42},
-		cache:           map[string]Metrics{},
+		Parallelism:     runtime.GOMAXPROCS(0),
+		cache:           map[string]cachedRun{},
+		inflight:        map[string]*inflightRun{},
 	}
 }
 
@@ -66,13 +98,55 @@ func (h *Harness) profilesFor(name string) ([]trace.Profile, error) {
 	return RateMode(p, h.Cfg.CPU.Cores), nil
 }
 
+// runKey is the memoization identity of one simulation. The config is not
+// part of the key: variant must uniquely describe every non-default
+// configuration, which the planner in parallel.go relies on too.
+func runKey(name string, kind config.SystemKind, variant string) string {
+	return fmt.Sprintf("%s|%v|%s", name, kind, variant)
+}
+
 // runCached executes (or recalls) one simulation, averaging over the
 // harness seeds. variant distinguishes non-default configurations.
+// It is safe for concurrent use: the first caller for a key executes the
+// run, any later caller blocks until that result is final (singleflight).
 func (h *Harness) runCached(name string, kind config.SystemKind, variant string, cfg config.Config) (Metrics, error) {
-	key := fmt.Sprintf("%s|%v|%s", name, kind, variant)
-	if m, ok := h.cache[key]; ok {
-		return m, nil
+	key := runKey(name, kind, variant)
+	h.mu.Lock()
+	if h.cache == nil {
+		h.cache = map[string]cachedRun{}
 	}
+	if h.inflight == nil {
+		h.inflight = map[string]*inflightRun{}
+	}
+	if c, ok := h.cache[key]; ok {
+		h.mu.Unlock()
+		return c.m, c.err
+	}
+	if fl, ok := h.inflight[key]; ok {
+		h.mu.Unlock()
+		<-fl.done
+		return fl.m, fl.err
+	}
+	fl := &inflightRun{done: make(chan struct{})}
+	h.inflight[key] = fl
+	h.mu.Unlock()
+
+	fl.m, fl.err = h.executeRun(key, name, kind, cfg)
+
+	h.mu.Lock()
+	h.cache[key] = cachedRun{m: fl.m, err: fl.err}
+	delete(h.inflight, key)
+	h.mu.Unlock()
+	close(fl.done)
+
+	if fl.err == nil {
+		h.progress(fmt.Sprintf("ran %-28s cycles=%d", key, fl.m.Cycles))
+	}
+	return fl.m, fl.err
+}
+
+// executeRun performs the actual simulations for one cache key.
+func (h *Harness) executeRun(key, name string, kind config.SystemKind, cfg config.Config) (Metrics, error) {
 	profs, err := h.profilesFor(name)
 	if err != nil {
 		return Metrics{}, err
@@ -91,12 +165,18 @@ func (h *Harness) runCached(name string, kind config.SystemKind, variant string,
 		}
 		acc = addMetrics(acc, m)
 	}
-	m := scaleMetrics(acc, 1/float64(len(h.Seeds)))
-	h.cache[key] = m
-	if h.Progress != nil {
-		h.Progress(fmt.Sprintf("ran %-28s cycles=%d", key, m.Cycles))
+	return scaleMetrics(acc, 1/float64(len(h.Seeds))), nil
+}
+
+// progress forwards one line to the Progress callback under a mutex, so
+// parallel runs never interleave output mid-line.
+func (h *Harness) progress(msg string) {
+	if h.Progress == nil {
+		return
 	}
-	return m, nil
+	h.progressMu.Lock()
+	defer h.progressMu.Unlock()
+	h.Progress(msg)
 }
 
 func (h *Harness) run(name string, kind config.SystemKind) (Metrics, error) {
@@ -256,13 +336,14 @@ func (h *Harness) Fig4() (*stats.Table, error) {
 	t := stats.NewTable("Fig 4: % of 64B lines compressible to 30B", "compressible_pct")
 	eng := compress.NewEngine()
 	const samples = 4000
+	scratch := make([]byte, trace.LineSize)
 	for _, p := range trace.Catalog() {
 		dm := p.DataModel()
 		rng := rand.New(rand.NewSource(7))
 		comp := 0
 		for i := 0; i < samples; i++ {
 			addr := uint64(rng.Int63n(int64(p.FootprintBytes / 64)))
-			if eng.Compressible(dm.Line(addr)) {
+			if eng.Compressible(dm.LineInto(addr, scratch)) {
 				comp++
 			}
 		}
@@ -277,7 +358,7 @@ func (h *Harness) Fig4() (*stats.Table, error) {
 func (h *Harness) Fig5() (*stats.Table, error) {
 	t := stats.NewTable("Fig 5: metadata-cache size sweep (suite averages)",
 		"hit_rate", "speedup")
-	for _, size := range []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20} {
+	for _, size := range mdcacheSweepSizes {
 		cfg := h.Cfg
 		cfg.MDCache.Bytes = size
 		var hit, speedup float64
@@ -287,7 +368,7 @@ func (h *Harness) Fig5() (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			md, err := h.runCached(w, config.SystemMDCache, fmt.Sprintf("size=%d", size), cfg)
+			md, err := h.runCached(w, config.SystemMDCache, mdcacheSizeVariant(size), cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -488,14 +569,10 @@ func (h *Harness) Fig16() (*stats.Table, error) {
 		"lru", "drrip", "ship")
 	for _, w := range h.Workloads() {
 		row := make([]float64, 0, 3)
-		for _, pol := range []string{"lru", "drrip", "ship"} {
+		for _, pol := range mdcachePolicies {
 			cfg := h.Cfg
 			cfg.MDCache.Policy = pol
-			variant := ""
-			if pol != "lru" {
-				variant = "policy=" + pol
-			}
-			m, err := h.runCached(w, config.SystemMDCache, variant, cfg)
+			m, err := h.runCached(w, config.SystemMDCache, mdcachePolicyVariant(pol), cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -513,27 +590,14 @@ func (h *Harness) Fig16() (*stats.Table, error) {
 func (h *Harness) Fig17() (*stats.Table, error) {
 	t := stats.NewTable("Fig 17: speedup by COPR component mix",
 		"papr_only", "papr_gi", "full")
-	type variant struct {
-		name           string
-		gi, papr, lipr bool
-	}
-	variants := []variant{
-		{"papr", false, true, false},
-		{"papr+gi", true, true, false},
-		{"", true, true, true}, // default config: cached under ""
-	}
 	for _, w := range h.Workloads() {
 		base, err := h.run(w, config.SystemBaseline)
 		if err != nil {
 			return nil, err
 		}
 		row := make([]float64, 0, 3)
-		for _, v := range variants {
-			cfg := h.Cfg
-			cfg.Attache.EnableGI = v.gi
-			cfg.Attache.EnablePaPR = v.papr
-			cfg.Attache.EnableLiPR = v.lipr
-			m, err := h.runCached(w, config.SystemAttache, v.name, cfg)
+		for _, v := range coprVariants {
+			m, err := h.runCached(w, config.SystemAttache, v.name, v.apply(h.Cfg))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"attache/internal/config"
+)
+
+// This file is the parallel run scheduler. The paper's evaluation is
+// embarrassingly parallel — every (workload, system, variant) simulation
+// builds its own engine and shares no mutable state — so the harness
+// splits experiment execution into two phases:
+//
+//  1. Plan: each experiment declares the runs it needs (needs below).
+//     Runs shared across experiments (fig1/5/11..15 all reuse slices of
+//     the four-system sweep) are deduplicated in declaration order.
+//  2. Execute: Prefetch fans the deduplicated runs across
+//     Harness.Parallelism workers. runCached's singleflight memoization
+//     guarantees each key is simulated exactly once even when an
+//     experiment races a prefetch worker for it.
+//
+// The experiment functions then aggregate from the warm cache serially, in
+// planned order, so every table is byte-identical to a serial run: each
+// run is a deterministic function of its key and the harness parameters,
+// and no aggregation arithmetic is reordered.
+
+// Shared sweep definitions — single source of truth for the experiment
+// bodies (Fig5/Fig16/Fig17) and the planner, so declared needs cannot
+// drift from what the figures actually request.
+
+// mdcacheSweepSizes are Fig5's metadata-cache sizes.
+var mdcacheSweepSizes = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+
+func mdcacheSizeVariant(size int) string { return fmt.Sprintf("size=%d", size) }
+
+// mdcachePolicies are Fig16's replacement policies; "lru" is the default
+// configuration and caches under the default ("") variant.
+var mdcachePolicies = []string{"lru", "drrip", "ship"}
+
+func mdcachePolicyVariant(pol string) string {
+	if pol == "lru" {
+		return ""
+	}
+	return "policy=" + pol
+}
+
+// coprVariant is one COPR component mix of Fig17.
+type coprVariant struct {
+	name           string // cache variant; "" is the full default predictor
+	gi, papr, lipr bool
+}
+
+func (v coprVariant) apply(cfg config.Config) config.Config {
+	cfg.Attache.EnableGI = v.gi
+	cfg.Attache.EnablePaPR = v.papr
+	cfg.Attache.EnableLiPR = v.lipr
+	return cfg
+}
+
+var coprVariants = []coprVariant{
+	{"papr", false, true, false},
+	{"papr+gi", true, true, false},
+	{"", true, true, true}, // default config: cached under ""
+}
+
+// runRequest is one planned simulation: the arguments of a runCached call.
+type runRequest struct {
+	name    string
+	kind    config.SystemKind
+	variant string
+	cfg     config.Config
+}
+
+func (r runRequest) key() string { return runKey(r.name, r.kind, r.variant) }
+
+// needs declares the simulations experiment id will request. Experiments
+// that do not drive the full-system simulator (fig2/fig4/fig8/tab1)
+// declare nothing. The declaration is a performance hint, not a
+// correctness requirement: an undeclared run is simply executed by the
+// experiment itself, serially, through the same memo cache.
+func (h *Harness) needs(id string) []runRequest {
+	defaults := func(kinds ...config.SystemKind) []runRequest {
+		var out []runRequest
+		for _, w := range h.Workloads() {
+			for _, k := range kinds {
+				out = append(out, runRequest{name: w, kind: k, cfg: h.Cfg})
+			}
+		}
+		return out
+	}
+	switch id {
+	case "fig1", "fig15":
+		return defaults(config.SystemMDCache)
+	case "fig5":
+		out := defaults(config.SystemBaseline)
+		for _, size := range mdcacheSweepSizes {
+			cfg := h.Cfg
+			cfg.MDCache.Bytes = size
+			for _, w := range h.Workloads() {
+				out = append(out, runRequest{
+					name: w, kind: config.SystemMDCache,
+					variant: mdcacheSizeVariant(size), cfg: cfg,
+				})
+			}
+		}
+		return out
+	case "fig11", "copr-anatomy":
+		return defaults(config.SystemAttache)
+	case "fig12", "fig13", "fig14", "compare", "energy":
+		return defaults(config.SystemBaseline, config.SystemMDCache,
+			config.SystemAttache, config.SystemIdeal)
+	case "fig16":
+		var out []runRequest
+		for _, pol := range mdcachePolicies {
+			cfg := h.Cfg
+			cfg.MDCache.Policy = pol
+			for _, w := range h.Workloads() {
+				out = append(out, runRequest{
+					name: w, kind: config.SystemMDCache,
+					variant: mdcachePolicyVariant(pol), cfg: cfg,
+				})
+			}
+		}
+		return out
+	case "fig17":
+		out := defaults(config.SystemBaseline)
+		for _, v := range coprVariants {
+			cfg := v.apply(h.Cfg)
+			for _, w := range h.Workloads() {
+				out = append(out, runRequest{
+					name: w, kind: config.SystemAttache,
+					variant: v.name, cfg: cfg,
+				})
+			}
+		}
+		return out
+	case "predictors":
+		return defaults(config.SystemBaseline, config.SystemECC, config.SystemAttache)
+	default:
+		return nil
+	}
+}
+
+// planRuns flattens and deduplicates the needs of the given experiments,
+// preserving first-declaration order.
+func (h *Harness) planRuns(ids []string) []runRequest {
+	seen := map[string]bool{}
+	var out []runRequest
+	for _, id := range ids {
+		for _, r := range h.needs(id) {
+			if k := r.key(); !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// Prefetch plans and executes every simulation the named experiments need,
+// fanning them across Parallelism workers. It never fails: run errors are
+// memoized and surface, unchanged, from the experiment that needs the
+// failed run. Calling Prefetch is optional — experiments find any missing
+// run on demand — and results are bit-identical with or without it, at any
+// parallelism, because runs are independent deterministic simulations and
+// tables are always aggregated serially in experiment order.
+func (h *Harness) Prefetch(ids ...string) {
+	reqs := h.planRuns(ids)
+	par := h.parallelism()
+	if par > len(reqs) {
+		par = len(reqs)
+	}
+	if par <= 1 {
+		// Serial mode: let the experiments themselves run on demand, in
+		// exactly the order they would without a scheduler.
+		return
+	}
+	work := make(chan runRequest)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				_, _ = h.runCached(r.name, r.kind, r.variant, r.cfg)
+			}
+		}()
+	}
+	for _, r := range reqs {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+}
+
+func (h *Harness) parallelism() int {
+	if h.Parallelism > 0 {
+		return h.Parallelism
+	}
+	// Zero value (harness built without NewHarness): stay serial.
+	return 1
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"attache/internal/config"
+)
+
+// parTestHarness is a harness small enough to simulate every (workload,
+// system) pair quickly: default cores (the mixes need all 8), but only
+// 300 references each.
+func parTestHarness() *Harness {
+	h := NewHarness(1)
+	h.AccessesPerCore = 300
+	return h
+}
+
+func experimentTable(t *testing.T, h *Harness, id string) string {
+	t.Helper()
+	_, runners := h.Experiments()
+	tab, err := runners[id]()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return tab.String()
+}
+
+// TestParallelMatchesSerial is the determinism guarantee: a harness that
+// prefetches across 8 workers must produce byte-identical tables and
+// bit-identical Metrics to one that runs everything serially on demand.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := parTestHarness()
+	serial.Parallelism = 1
+	par := parTestHarness()
+	par.Parallelism = 8
+	par.Prefetch("fig12", "fig13")
+
+	for _, id := range []string{"fig12", "fig13"} {
+		want := experimentTable(t, serial, id)
+		got := experimentTable(t, par, id)
+		if got != want {
+			t.Errorf("%s: table differs between serial and parallel runs\nserial:\n%s\nparallel:\n%s", id, want, got)
+		}
+	}
+
+	kinds := []config.SystemKind{
+		config.SystemBaseline, config.SystemMDCache,
+		config.SystemAttache, config.SystemIdeal,
+	}
+	for _, w := range serial.Workloads() {
+		for _, k := range kinds {
+			ms, err1 := serial.runCached(w, k, "", serial.Cfg)
+			mp, err2 := par.runCached(w, k, "", par.Cfg)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s/%v: errors %v / %v", w, k, err1, err2)
+			}
+			if ms != mp {
+				t.Errorf("%s/%v: Metrics differ between serial and parallel harnesses", w, k)
+			}
+		}
+	}
+}
+
+// TestRunCachedSingleflight hammers one key from many goroutines: the
+// simulation must execute exactly once and every caller must observe the
+// same result. Run under -race this also exercises the cache locking.
+func TestRunCachedSingleflight(t *testing.T) {
+	h := parTestHarness()
+	var executions atomic.Int32
+	h.Progress = func(string) { executions.Add(1) }
+
+	const callers = 16
+	results := make([]Metrics, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = h.runCached("lbm", config.SystemAttache, "", h.Cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Errorf("run executed %d times, want exactly 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("caller %d observed a different Metrics than caller 0", i)
+		}
+	}
+}
+
+// TestPlanRunsDedup: runs shared between experiments are planned once, in
+// first-declaration order.
+func TestPlanRunsDedup(t *testing.T) {
+	h := parTestHarness()
+	reqs := h.planRuns([]string{"fig12", "fig13", "fig1"})
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		k := r.key()
+		if seen[k] {
+			t.Errorf("duplicate planned run %q", k)
+		}
+		seen[k] = true
+	}
+	// fig13 and fig1 need only subsets of fig12's four-system sweep, so
+	// the whole plan is exactly fig12's: 4 systems x every workload.
+	if want := 4 * len(h.Workloads()); len(reqs) != want {
+		t.Errorf("planned %d runs, want %d", len(reqs), want)
+	}
+}

@@ -6,8 +6,6 @@
 // which makes every simulation fully deterministic for a given seed.
 package sim
 
-import "container/heap"
-
 // Time is an absolute simulation time in CPU cycles.
 type Time = int64
 
@@ -20,27 +18,58 @@ type scheduledEvent struct {
 	fn  Event
 }
 
+// eventQueue is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap is deliberately not used: its interface methods box every
+// scheduledEvent into an `any` on Push and Pop, which made the two calls
+// the largest allocation sites of whole-system simulations.
 type eventQueue []scheduledEvent
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) push(ev scheduledEvent) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(scheduledEvent)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+func (q *eventQueue) pop() scheduledEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{} // release the Event so the GC can collect it
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && h.less(r, l) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event simulator.
@@ -55,9 +84,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{queue: make(eventQueue, 0, 64)}
 }
 
 // Now reports the current simulation time.
@@ -67,7 +94,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
 // Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule enqueues fn to run at absolute time at. Scheduling in the past
 // (at < Now) is clamped to the current time: the event runs "now", after any
@@ -77,7 +104,7 @@ func (e *Engine) Schedule(at Time, fn Event) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, scheduledEvent{at: at, seq: e.seq, fn: fn})
+	e.queue.push(scheduledEvent{at: at, seq: e.seq, fn: fn})
 }
 
 // ScheduleAfter enqueues fn to run delay cycles from now.
@@ -88,10 +115,10 @@ func (e *Engine) ScheduleAfter(delay Time, fn Event) {
 // Step executes the single earliest event. It reports false when the queue
 // is empty.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(scheduledEvent)
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.nsteps++
 	ev.fn(e.now)
@@ -103,7 +130,7 @@ func (e *Engine) Step() bool {
 // negative until to run until the queue drains.
 func (e *Engine) Run(until Time) uint64 {
 	var n uint64
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		if until >= 0 && e.queue[0].at >= until {
 			break
 		}
@@ -122,5 +149,5 @@ func (e *Engine) RunUntilDone(maxEvents uint64) bool {
 			return true
 		}
 	}
-	return e.queue.Len() == 0
+	return len(e.queue) == 0
 }

@@ -79,7 +79,23 @@ func (d *DataModel) Compressible(lineAddr uint64) bool {
 // Line synthesizes the 64-byte content of lineAddr, consistent with
 // Compressible(lineAddr).
 func (d *DataModel) Line(lineAddr uint64) []byte {
-	line := make([]byte, LineSize)
+	return d.LineInto(lineAddr, nil)
+}
+
+// LineInto is Line with buffer reuse: it writes the content into buf when
+// buf has capacity for a full line (allocating otherwise) and returns the
+// 64-byte slice. Hot loops that classify millions of lines pass the same
+// scratch buffer to stay allocation-free.
+func (d *DataModel) LineInto(lineAddr uint64, buf []byte) []byte {
+	var line []byte
+	if cap(buf) >= LineSize {
+		line = buf[:LineSize]
+		for i := range line {
+			line[i] = 0
+		}
+	} else {
+		line = make([]byte, LineSize)
+	}
 	h := mix(d.seed, lineAddr, 0xDA7A)
 	if !d.Compressible(lineAddr) {
 		// Incompressible: pseudo-random bytes. Random 64-byte strings
