@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"attache/internal/config"
 	"attache/internal/exp"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		outDir     = flag.String("out", "", "also write each result to <dir>/<id>.txt and <id>.csv")
 		report     = flag.String("report", "", "run every experiment and write a markdown report to this file")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations (results are identical at any value)")
+		checkMode  = flag.String("check", "off", "runtime checking: off, invariants, or oracle (validates the simulation; results are unchanged)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -78,6 +80,12 @@ func main() {
 
 	h := exp.NewHarness(*scale)
 	h.Parallelism = *parallel
+	lvl, err := config.ParseCheckLevel(*checkMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attachesim: %v\n", err)
+		os.Exit(2)
+	}
+	h.Cfg.Check = lvl
 	order, runners := h.Experiments()
 
 	if *list {

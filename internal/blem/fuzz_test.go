@@ -1,0 +1,97 @@
+package blem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBLEMHeaderRoundTrip asserts the blended-header invariants over
+// arbitrary line contents, addresses, CID widths, and CID draws:
+//
+//   - an uncompressed store classifies back as uncompressed and keeps
+//     the line verbatim, or classifies as a collision and reconstructs
+//     the original line exactly via the Replacement Area;
+//   - a compressed store classifies as compressed and round-trips both
+//     the packed payload and the Table I information bits.
+func FuzzBLEMHeaderRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(1), 15, make([]byte, LineSize))
+	f.Add(uint64(1<<30), int64(99), 13, bytes.Repeat([]byte{0xFF}, LineSize))
+	line := make([]byte, LineSize)
+	for i := range line {
+		line[i] = byte(i * 7)
+	}
+	f.Add(uint64(123456), int64(-5), 1, line)
+	f.Fuzz(func(t *testing.T, addr uint64, seed int64, cidBits int, data []byte) {
+		if len(data) != LineSize {
+			return
+		}
+		if cidBits < 1 || cidBits > 15 {
+			return
+		}
+		e := NewEngine(cidBits, seed)
+
+		// Uncompressed path, with Replacement-Area parking on collision.
+		stored, collision := e.StoreUncompressed(addr, data)
+		cls := e.Classify(stored[:SubRankSize])
+		if collision {
+			if cls != ClassCollision {
+				t.Fatalf("collided store classified %v", cls)
+			}
+			if e.ReplacementArea().Len() != 1 {
+				t.Fatalf("RA holds %d bits after one collision", e.ReplacementArea().Len())
+			}
+			restored := e.LoadCollided(addr, stored[:])
+			if !bytes.Equal(restored[:], data) {
+				t.Fatal("collided line did not reconstruct")
+			}
+		} else {
+			if cls != ClassUncompressed {
+				t.Fatalf("plain store classified %v", cls)
+			}
+			if !bytes.Equal(stored[:], data) {
+				t.Fatal("uncompressed store must be verbatim")
+			}
+			if e.ReplacementArea().Len() != 0 {
+				t.Fatal("RA touched without a collision")
+			}
+		}
+
+		// Compressed path: header + payload + info bits round-trip.
+		payload := data
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		info := uint8(addr) & (1<<uint(e.InfoBits()) - 1)
+		block, err := e.PackCompressedInfo(payload, info)
+		if err != nil {
+			t.Fatalf("pack: %v", err)
+		}
+		if got := e.Classify(block[:]); got != ClassCompressed {
+			t.Fatalf("compressed block classified %v", got)
+		}
+		if got := PayloadOf(block[:])[:len(payload)]; !bytes.Equal(got, payload) {
+			t.Fatal("payload did not round-trip")
+		}
+		if got := e.InfoOf(block[:]); got != info {
+			t.Fatalf("info bits %d round-tripped as %d", info, got)
+		}
+	})
+}
+
+// FuzzPackCompressedBounds asserts oversized payloads and info values are
+// rejected with errors, never mis-stored.
+func FuzzPackCompressedBounds(f *testing.F) {
+	f.Add(31, uint8(0))
+	f.Add(30, uint8(255))
+	f.Fuzz(func(t *testing.T, n int, info uint8) {
+		if n < 0 || n > 4*LineSize {
+			return
+		}
+		e := NewEngine(14, 7)
+		_, err := e.PackCompressedInfo(make([]byte, n), info)
+		wantErr := n > MaxPayload || int(info) >= 1<<uint(e.InfoBits())
+		if (err != nil) != wantErr {
+			t.Fatalf("payload=%d info=%d: err=%v, want error=%v", n, info, err, wantErr)
+		}
+	})
+}

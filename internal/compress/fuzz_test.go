@@ -79,6 +79,32 @@ func FuzzCPackRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzCPackSizeAgreement asserts the allocation-free size estimator
+// agrees exactly with the real encoder on every line: CPackSize must
+// report the encoded length when CPack wins and LineSize when it does
+// not. The simulator's timing model classifies lines with CPackSize, so
+// any disagreement would make timing diverge from the functional flow.
+func FuzzCPackSizeAgreement(f *testing.F) {
+	fuzzSeedLines(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != LineSize {
+			return
+		}
+		enc, ok := CPackCompress(data)
+		size := CPackSize(data)
+		if ok {
+			if size != len(enc) {
+				t.Fatalf("CPackSize=%d but encoder produced %d bytes", size, len(enc))
+			}
+			if size >= LineSize {
+				t.Fatalf("encoder claimed a win at %d bytes", size)
+			}
+		} else if size != LineSize {
+			t.Fatalf("CPackSize=%d for a line the encoder rejects, want %d", size, LineSize)
+		}
+	})
+}
+
 // FuzzDecodersNeverPanic feeds arbitrary bytes to every decoder: errors
 // are fine, panics are not (a corrupted DRAM block must not crash the
 // controller model).

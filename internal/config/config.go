@@ -15,6 +15,55 @@ const (
 	LinesPerPage    = PageSize / LineSize // 64 — matches the 64-bit LiPR entry
 )
 
+// CheckLevel selects how much runtime self-validation the simulator
+// performs (DESIGN.md §8). Checking never changes simulated behaviour or
+// results — it only observes and cross-validates them.
+type CheckLevel int
+
+const (
+	// CheckOff disables all runtime checking (the default; zero overhead).
+	CheckOff CheckLevel = iota
+	// CheckInvariants enables cheap conservation/timing assertions: every
+	// scheduled event fires exactly once, every issued DRAM request
+	// retires, per-sub-rank data-bus bursts never overlap, MSHR and queue
+	// occupancies stay within bounds.
+	CheckInvariants
+	// CheckOracle additionally runs the differential oracle on Attaché
+	// systems: a functional shadow (compress + scramble + BLEM + a
+	// mirrored COPR) driven from the same request stream, asserting
+	// returned line data, compression outcomes, and predictions match an
+	// ideal oracle-metadata flow bit-for-bit. Slow; for validation runs.
+	CheckOracle
+)
+
+// String returns the CLI spelling of the level.
+func (l CheckLevel) String() string {
+	switch l {
+	case CheckOff:
+		return "off"
+	case CheckInvariants:
+		return "invariants"
+	case CheckOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("CheckLevel(%d)", int(l))
+	}
+}
+
+// ParseCheckLevel converts a CLI string into a CheckLevel.
+func ParseCheckLevel(s string) (CheckLevel, error) {
+	switch s {
+	case "off", "":
+		return CheckOff, nil
+	case "invariants":
+		return CheckInvariants, nil
+	case "oracle":
+		return CheckOracle, nil
+	default:
+		return 0, fmt.Errorf("config: unknown check level %q (want off, invariants, or oracle)", s)
+	}
+}
+
 // SystemKind selects which memory-system organization a simulation models.
 type SystemKind int
 
@@ -137,6 +186,9 @@ type Config struct {
 	DRAM    DRAM
 	Attache Attache
 	MDCache MDCache
+	// Check selects the runtime self-validation level (DESIGN.md §8).
+	// It never changes simulated timing or results.
+	Check CheckLevel
 }
 
 // Default returns the Table II baseline configuration with the paper's
@@ -241,6 +293,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: write high watermark exceeds buffer depth")
 	case c.DRAM.WriteLowWater >= c.DRAM.WriteHighWater:
 		return fmt.Errorf("config: write low watermark must be below high watermark")
+	case c.Check < CheckOff || c.Check > CheckOracle:
+		return fmt.Errorf("config: unknown check level %d", int(c.Check))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"attache/internal/stats"
@@ -35,7 +36,11 @@ func (s *MemoryStats) BandwidthSavings() float64 {
 type Memory struct {
 	f     *Framework
 	lines map[uint64]StoredLine
-	Stats MemoryStats
+	// shadow, when non-nil (EnableCheck), keeps the raw bytes of every
+	// written line so Read can assert the compress/scramble/BLEM
+	// round-trip returned exactly what was stored.
+	shadow map[uint64][LineSize]byte
+	Stats  MemoryStats
 }
 
 // NewMemory builds a memory with its own framework instance.
@@ -51,6 +56,16 @@ func NewMemory(opts Options) (*Memory, error) {
 // counters).
 func (m *Memory) Framework() *Framework { return m.f }
 
+// EnableCheck turns on the memory's self-check: every Write keeps a raw
+// copy of the line and every Read compares the round-tripped bytes
+// against it, failing loudly on the first divergence. Costs one 64-byte
+// copy per line; off by default.
+func (m *Memory) EnableCheck() {
+	if m.shadow == nil {
+		m.shadow = make(map[uint64][LineSize]byte)
+	}
+}
+
 // Write stores a 64-byte line at lineAddr.
 func (m *Memory) Write(lineAddr uint64, data []byte) error {
 	prev, existed := m.lines[lineAddr]
@@ -59,6 +74,11 @@ func (m *Memory) Write(lineAddr uint64, data []byte) error {
 		return err
 	}
 	m.lines[lineAddr] = st
+	if m.shadow != nil {
+		var raw [LineSize]byte
+		copy(raw[:], data)
+		m.shadow[lineAddr] = raw
+	}
 	m.Stats.Writes.Inc()
 	m.Stats.BlocksWritten.Add(uint64(tr.BlocksTouched))
 	if tr.RAAccess {
@@ -84,6 +104,11 @@ func (m *Memory) Read(lineAddr uint64) ([]byte, error) {
 	data, tr, err := m.f.Load(lineAddr, st)
 	if err != nil {
 		return nil, err
+	}
+	if m.shadow != nil {
+		if want, ok := m.shadow[lineAddr]; ok && !bytes.Equal(data, want[:]) {
+			return nil, fmt.Errorf("core: self-check failed at line %#x: read bytes differ from last write", lineAddr)
+		}
 	}
 	m.Stats.Reads.Inc()
 	m.Stats.BlocksRead.Add(uint64(tr.BlocksTouched))

@@ -12,6 +12,7 @@ package cpu
 import (
 	"math"
 
+	"attache/internal/check"
 	"attache/internal/sim"
 	"attache/internal/trace"
 )
@@ -27,6 +28,11 @@ type Config struct {
 	IssueWidth int
 	ROBSize    int64
 	MSHRs      int
+	// Audit, when set, enables the core's occupancy invariants: the
+	// outstanding-load count must never exceed the MSHRs and the issue
+	// window must stay within the ROB (config.CheckInvariants and
+	// above). Auditing observes; it never changes issue decisions.
+	Audit *check.Recorder
 }
 
 // Stats counts core activity.
@@ -208,6 +214,16 @@ func (c *Core) issueCurrent(now sim.Time) {
 		c.mem.Write(addr)
 	} else {
 		c.Stats.Loads++
+		if c.cfg.Audit != nil {
+			if len(c.pending) >= c.cfg.MSHRs {
+				c.cfg.Audit.Failf(addr, now, "core %d MSHR overflow: %d loads outstanding with %d MSHRs",
+					c.id, len(c.pending)+1, c.cfg.MSHRs)
+			}
+			if len(c.pending) > 0 && c.pos-c.pending[0].instrPos > c.cfg.ROBSize {
+				c.cfg.Audit.Failf(addr, now, "core %d issued past the ROB window: pos=%d oldest=%d size=%d",
+					c.id, c.pos, c.pending[0].instrPos, c.cfg.ROBSize)
+			}
+		}
 		c.pending = append(c.pending, pendingLoad{instrPos: c.pos})
 		idx := len(c.pending) - 1
 		pos := c.pending[idx].instrPos

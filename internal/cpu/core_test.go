@@ -166,9 +166,9 @@ func TestNewCoreValidation(t *testing.T) {
 	gen := trace.NewGenerator(coreProfile(trace.PatternRandom, 5, 0), 1, 0)
 	mem := &fixedMem{eng: eng, latency: 1}
 	for _, f := range []func(){
-		func() { NewCore(eng, 0, Config{0, 10, 10}, gen, 10, mem, nil) },
-		func() { NewCore(eng, 0, Config{4, 0, 10}, gen, 10, mem, nil) },
-		func() { NewCore(eng, 0, Config{4, 10, 0}, gen, 10, mem, nil) },
+		func() { NewCore(eng, 0, Config{IssueWidth: 0, ROBSize: 10, MSHRs: 10}, gen, 10, mem, nil) },
+		func() { NewCore(eng, 0, Config{IssueWidth: 4, ROBSize: 0, MSHRs: 10}, gen, 10, mem, nil) },
+		func() { NewCore(eng, 0, Config{IssueWidth: 4, ROBSize: 10, MSHRs: 0}, gen, 10, mem, nil) },
 		func() { NewCore(eng, 0, defaultCfg(), gen, 0, mem, nil) },
 	} {
 		func() {

@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"attache/internal/check"
 	"attache/internal/config"
 	"attache/internal/sim"
 	"attache/internal/stats"
@@ -87,6 +88,10 @@ type Channel struct {
 	actTimes [2][4]sim.Time
 	actHead  [2]int
 
+	// audit, when non-nil, validates bus/conservation invariants on
+	// every request (config.CheckInvariants and above).
+	audit *check.BusAudit
+
 	Stats  ChannelStats
 	Energy Energy
 }
@@ -119,6 +124,21 @@ func (c *Channel) QueueDepths() (reads, writes int) {
 	return len(c.readQ), len(c.writeQ)
 }
 
+// EnableAudit attaches a bus/conservation invariant checker reporting
+// into rec. Auditing observes scheduling decisions without changing
+// them, so timing and stats are identical with or without it.
+func (c *Channel) EnableAudit(rec *check.Recorder) {
+	c.audit = check.NewBusAudit(rec, c.id)
+}
+
+// AuditDrained runs the end-of-simulation conservation check (no-op
+// without an audit).
+func (c *Channel) AuditDrained(now sim.Time) {
+	if c.audit != nil {
+		c.audit.CheckDrained(len(c.readQ), len(c.writeQ), now)
+	}
+}
+
 // Submit enqueues a request. Writes are posted into the write buffer;
 // reads go to the read queue. The scheduler wakes immediately if it is
 // not already due sooner.
@@ -128,6 +148,9 @@ func (c *Channel) Submit(r *Request) {
 	}
 	now := c.eng.Now()
 	r.arrive = now
+	if c.audit != nil {
+		c.audit.OnSubmit()
+	}
 	if r.Write {
 		c.writeQ = append(c.writeQ, r)
 		if len(c.writeQ) > c.Stats.QueuedWriteMax {
@@ -300,6 +323,9 @@ func (c *Channel) issue(now sim.Time, r *Request) {
 	}
 	rowHit := c.isRowHit(r)
 	c.Stats.RowHits.Observe(rowHit)
+	if c.audit != nil {
+		c.audit.OnIssue(auditAddr(r.Loc), now)
+	}
 
 	subranks := 0
 	var finish sim.Time
@@ -340,6 +366,9 @@ func (c *Channel) issue(now sim.Time, r *Request) {
 			dataStart = c.busFree[s]
 		}
 		dataEnd := dataStart + burst
+		if c.audit != nil {
+			c.audit.OnBurst(s, dataStart, dataEnd, auditAddr(r.Loc), now)
+		}
 		c.busFree[s] = dataEnd
 		c.Stats.BusBusy[s] += burst
 		// The bank accepts its next column command one burst after this
@@ -384,6 +413,12 @@ func (c *Channel) issue(now sim.Time, r *Request) {
 		done := r.Done
 		c.eng.Schedule(finish, done)
 	}
+}
+
+// auditAddr folds a DRAM coordinate into one diagnostic address for
+// check failures: row and column identify the block within the channel.
+func auditAddr(loc Location) uint64 {
+	return uint64(loc.Row)<<16 | uint64(loc.Col)
 }
 
 // refreshIfDue blocks all banks for tRFC once per tREFI window.

@@ -93,6 +93,13 @@ func (r regionModel) CIDCollides(a uint64, bits int) bool {
 	return r.modelFor(a).CIDCollides(a, bits)
 }
 
+// LineInto satisfies check.DataModel so the differential oracle can run
+// the functional Attaché flow on the same bytes the owning data model
+// synthesizes for each slice.
+func (r regionModel) LineInto(a uint64, buf []byte) []byte {
+	return r.modelFor(a).LineInto(a, buf)
+}
+
 // RateMode builds the per-core profile list for a rate-mode run (every
 // core runs the same benchmark, paper §V).
 func RateMode(p trace.Profile, cores int) []trace.Profile {
@@ -159,6 +166,7 @@ func Run(rc RunConfig) (Metrics, error) {
 		IssueWidth: cfg.CPU.IssueWidth,
 		ROBSize:    int64(cfg.CPU.ROBSize),
 		MSHRs:      cfg.CPU.MSHRs,
+		Audit:      sys.Audit(), // nil when cfg.Check is off
 	}
 	// Warm the LLC to steady state (the paper warms for 40 B
 	// instructions): each core's stream flows into the cache without
@@ -191,6 +199,20 @@ func Run(rc RunConfig) (Metrics, error) {
 	}
 	if !eng.RunUntilDone(maxEvents) {
 		return Metrics{}, fmt.Errorf("exp: simulation exceeded %d events (deadlock or runaway)", maxEvents)
+	}
+
+	if cfg.Check >= config.CheckInvariants {
+		// Event conservation: with the queue drained, every event that was
+		// ever scheduled must have fired exactly once.
+		if sch, fired := eng.Scheduled(), eng.Steps(); sch != fired {
+			return Metrics{}, fmt.Errorf("exp: event conservation violated: %d events scheduled, %d fired", sch, fired)
+		}
+		if !sys.Drained() {
+			return Metrics{}, fmt.Errorf("exp: channel queues not drained at end of run")
+		}
+		if err := sys.CheckErr(); err != nil {
+			return Metrics{}, err
+		}
 	}
 
 	var m Metrics

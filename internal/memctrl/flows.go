@@ -102,9 +102,15 @@ func (s *System) issueAttacheRead(lineAddr uint64, done func(sim.Time)) {
 	predicted, _ := s.copr.Predict(lineAddr * config.LineSize)
 	s.Stats.CompressedReads.Observe(actual)
 	s.Stats.DataReads.Inc()
+	if s.checker != nil {
+		s.checker.OnReadIssue(lineAddr, predicted, actual, s.eng.Now())
+	}
 
 	complete := func(now sim.Time) {
 		s.copr.Update(lineAddr*config.LineSize, actual)
+		if s.checker != nil {
+			s.checker.OnReadComplete(lineAddr, actual, now)
+		}
 		done(now)
 	}
 
@@ -171,7 +177,16 @@ func (s *System) writeAttache(lineAddr uint64) {
 	loc := s.mapper.Decode(lineAddr)
 	// The controller just compressed this line, so it knows the outcome:
 	// keep the predictor warm with write-path observations too.
-	defer s.copr.Train(lineAddr*config.LineSize, s.compressed(lineAddr))
+	if s.suppressTrain != nil && s.suppressTrain[lineAddr] {
+		// Mutation-test injection (InjectSuppressTrain): drop this one
+		// training call so the oracle can prove it notices the drift.
+		delete(s.suppressTrain, lineAddr)
+	} else {
+		defer s.copr.Train(lineAddr*config.LineSize, s.compressed(lineAddr))
+	}
+	if s.checker != nil {
+		s.checker.OnWrite(lineAddr, s.compressed(lineAddr), s.eng.Now())
+	}
 	if s.compressed(lineAddr) {
 		s.submit(&dram.Request{Write: true, Loc: loc, SubRanks: subRankFor(loc)})
 		return

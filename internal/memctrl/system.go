@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"attache/internal/check"
 	"attache/internal/config"
 	"attache/internal/copr"
 	"attache/internal/dram"
@@ -68,6 +69,16 @@ type System struct {
 	raBase   uint64 // first line of the Replacement Area region
 	capLines uint64
 
+	// Runtime checking (config.Check; DESIGN.md §8). rec collects the
+	// first invariant violation; checker is the differential oracle,
+	// present only on Attaché systems at CheckOracle when the line model
+	// can supply real bytes.
+	rec     *check.Recorder
+	checker *check.Oracle
+	// suppressTrain is the fault-injection state of the mutation tests:
+	// the next write to a listed address skips its COPR training call.
+	suppressTrain map[uint64]bool
+
 	Stats Stats
 }
 
@@ -93,19 +104,7 @@ func New(eng *sim.Engine, cfg config.Config, kind config.SystemKind, lines LineM
 	}
 	switch kind {
 	case config.SystemAttache:
-		pc := copr.Config{
-			MemorySize:  cfg.MemorySize(),
-			GICounters:  cfg.Attache.GICounters,
-			GIThreshold: 2,
-			PaPRBytes:   cfg.Attache.PaPRBytes,
-			PaPRWays:    cfg.Attache.PaPRWays,
-			LiPRBytes:   cfg.Attache.LiPRBytes,
-			LiPRWays:    cfg.Attache.LiPRWays,
-			EnableGI:    cfg.Attache.EnableGI,
-			EnablePaPR:  cfg.Attache.EnablePaPR,
-			EnableLiPR:  cfg.Attache.EnableLiPR,
-		}
-		s.copr = copr.New(pc)
+		s.copr = copr.New(coprConfigFor(cfg))
 	case config.SystemMDCache:
 		pol, err := mdcache.ParsePolicy(cfg.MDCache.Policy)
 		if err != nil {
@@ -118,7 +117,40 @@ func New(eng *sim.Engine, cfg config.Config, kind config.SystemKind, lines LineM
 	default:
 		return nil, fmt.Errorf("memctrl: unknown system kind %v", kind)
 	}
+	if cfg.Check >= config.CheckInvariants {
+		s.rec = &check.Recorder{}
+		for _, ch := range s.chans {
+			ch.EnableAudit(s.rec)
+		}
+		// The differential oracle needs real line bytes and the Attaché
+		// flow; it attaches only when both are present.
+		if cfg.Check >= config.CheckOracle && kind == config.SystemAttache {
+			if dm, ok := lines.(check.DataModel); ok {
+				o, err := check.NewOracle(s.rec, dm, cfg.Attache.CIDBits, seed, coprConfigFor(cfg))
+				if err != nil {
+					return nil, err
+				}
+				s.checker = o
+			}
+		}
+	}
 	return s, nil
+}
+
+// coprConfigFor maps the system configuration onto the predictor's.
+func coprConfigFor(cfg config.Config) copr.Config {
+	return copr.Config{
+		MemorySize:  cfg.MemorySize(),
+		GICounters:  cfg.Attache.GICounters,
+		GIThreshold: 2,
+		PaPRBytes:   cfg.Attache.PaPRBytes,
+		PaPRWays:    cfg.Attache.PaPRWays,
+		LiPRBytes:   cfg.Attache.LiPRBytes,
+		LiPRWays:    cfg.Attache.LiPRWays,
+		EnableGI:    cfg.Attache.EnableGI,
+		EnablePaPR:  cfg.Attache.EnablePaPR,
+		EnableLiPR:  cfg.Attache.EnableLiPR,
+	}
 }
 
 // Kind reports the system organization.
@@ -141,6 +173,31 @@ func (s *System) Drained() bool {
 		}
 	}
 	return true
+}
+
+// Audit exposes the failure recorder (nil when checking is off).
+func (s *System) Audit() *check.Recorder { return s.rec }
+
+// Checker exposes the differential oracle (nil unless the system runs at
+// CheckOracle, is an Attaché system, and its LineModel supplies bytes).
+func (s *System) Checker() *check.Oracle { return s.checker }
+
+// CheckErr finalizes the end-of-run checks — per-channel request
+// conservation at drain and the oracle's Replacement-Area conservation —
+// and reports the first failure recorded anywhere, or nil. Call it after
+// the simulation drains; it is a no-op when checking is off.
+func (s *System) CheckErr() error {
+	if s.rec == nil {
+		return nil
+	}
+	now := s.eng.Now()
+	for _, ch := range s.chans {
+		ch.AuditDrained(now)
+	}
+	if s.checker != nil {
+		s.checker.Finish(now)
+	}
+	return s.rec.Err()
 }
 
 // TotalEnergy sums channel energy accumulators.

@@ -1,0 +1,30 @@
+package memctrl
+
+// Fault-injection hooks for the mutation tests that prove the check layer
+// has teeth (ISSUE: flip one BLEM header bit; suppress one COPR training
+// call — the oracle must catch both). They exist only for tests; nothing
+// in the simulator calls them.
+
+// InjectHeaderBitFlip flips one bit of the differential oracle's stored
+// Attaché image of lineAddr (block 0 carries the BLEM header in its first
+// two bytes). The next read of the line must then either misclassify or
+// return bytes that differ from the ideal flow, which the oracle reports
+// with the read's (address, cycle). Reports false when the system has no
+// oracle or the line has not been materialized yet.
+func (s *System) InjectHeaderBitFlip(lineAddr uint64, block, bit int) bool {
+	if s.checker == nil {
+		return false
+	}
+	return s.checker.CorruptStoredBit(lineAddr, block, bit)
+}
+
+// InjectSuppressTrain makes the Attaché write path skip its COPR training
+// call on the next write to lineAddr, simulating a lost training event.
+// The oracle's shadow predictor keeps the specified training sequence, so
+// the two predictors drift and a later prediction comparison fails.
+func (s *System) InjectSuppressTrain(lineAddr uint64) {
+	if s.suppressTrain == nil {
+		s.suppressTrain = make(map[uint64]bool)
+	}
+	s.suppressTrain[lineAddr] = true
+}

@@ -93,6 +93,12 @@ func (e *Engine) Now() Time { return e.now }
 // Steps reports how many events have been executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
+// Scheduled reports how many events have ever been enqueued. With an
+// empty queue, Scheduled() == Steps() iff every scheduled event fired
+// exactly once — the event-conservation invariant the check layer
+// asserts after each run.
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
 // Pending reports the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
