@@ -4,16 +4,26 @@
 // before reads (COPR), eliminating the metadata bandwidth overheads that
 // erode the benefits of sub-ranked memory compression.
 //
-// The package offers two levels of API:
+// The package offers three levels of API:
 //
 //   - A functional compressed memory (Memory / Framework): exact 64-byte
 //     line Store/Load round-trips through the real BDI/FPC codecs, the
 //     scrambler, the CID/XID blended-metadata header, the Replacement
 //     Area, and the COPR predictor — with traffic accounting in sub-rank
-//     block units.
+//     block units. A Memory is single-goroutine.
+//   - A sharded concurrent Engine (NewEngine) that pools N Memory shards
+//     behind a batched request pipeline — the concurrent entry point,
+//     served over HTTP by the cmd/attached daemon.
 //   - A full performance-simulation stack under internal/, driven by the
 //     attachesim command, that reproduces every table and figure of the
 //     paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Constructors take either the classic Options struct or functional
+// options:
+//
+//	mem, err := attache.NewMemory(attache.DefaultOptions())
+//	mem, err := attache.NewMemoryWith(attache.WithCIDWidth(13), attache.WithSeed(7))
+//	eng, err := attache.NewEngine(attache.WithShards(8))
 //
 // Quickstart:
 //
@@ -23,11 +33,16 @@
 //	copy(line, myData)
 //	if err := mem.Write(42, line); err != nil { ... }
 //	back, err := mem.Read(42)
-//	savings := mem.Stats.BandwidthSavings()
+//	savings := mem.StatsSnapshot().BandwidthSavings()
+//
+// Errors wrap the typed sentinels ErrBadLineSize, ErrOutOfRange, and
+// ErrNeverWritten; match them with errors.Is.
 package attache
 
 import (
+	"attache/internal/copr"
 	"attache/internal/core"
+	"attache/internal/shard"
 )
 
 // LineSize is the memory-block granularity of the framework: one 64-byte
@@ -40,14 +55,24 @@ const SubRankBlock = core.SubRankBlock
 // Options configures a framework: CID width, seed, predictor sizing.
 type Options = core.Options
 
+// PredictorConfig sizes and enables the COPR components (LiPR, PaPR, GI).
+type PredictorConfig = copr.Config
+
 // Framework is the Attaché engine: compression, scrambling, BLEM, COPR.
 type Framework = core.Framework
 
-// Memory is a functional compressed memory built on the framework.
+// Memory is a functional compressed memory built on the framework. It is
+// not safe for concurrent use — concurrent callers go through Engine.
 type Memory = core.Memory
 
 // MemoryStats aggregates a Memory's traffic in paper units.
+//
+// Deprecated: read stats through Memory.StatsSnapshot / Engine.StatsSnapshot.
 type MemoryStats = core.MemoryStats
+
+// StatsSnapshot is an immutable copy of a Memory's (or, merged, an
+// Engine's) counters and derived metrics.
+type StatsSnapshot = core.StatsSnapshot
 
 // StoredLine is the physical two-block image of a stored line.
 type StoredLine = core.StoredLine
@@ -55,12 +80,137 @@ type StoredLine = core.StoredLine
 // AccessTrace reports the cost of one framework operation.
 type AccessTrace = core.AccessTrace
 
+// Engine is the sharded concurrent compressed-memory pool: N address-
+// sharded Memory shards, each owned by one goroutine behind a batched
+// request pipeline. All Engine methods are safe for concurrent use.
+type Engine = shard.Engine
+
+// Op is one read or write in an Engine batch.
+type Op = shard.Op
+
+// Result is the per-op outcome of an Engine batch.
+type Result = shard.Result
+
+// EngineSnapshot is an Engine's merged stats view (totals + per shard).
+type EngineSnapshot = shard.Snapshot
+
+// Typed sentinel errors; every error the package returns wraps one of
+// these (match with errors.Is).
+var (
+	// ErrBadLineSize reports a write payload that is not exactly LineSize bytes.
+	ErrBadLineSize = core.ErrBadLineSize
+	// ErrOutOfRange reports a parameter or address outside its configured range.
+	ErrOutOfRange = core.ErrOutOfRange
+	// ErrNeverWritten reports a read of an address that was never written.
+	ErrNeverWritten = core.ErrNeverWritten
+	// ErrClosed reports an operation on an Engine after Close.
+	ErrClosed = shard.ErrClosed
+)
+
 // DefaultOptions returns the paper's configuration: a 15-bit CID and the
 // 368 KB COPR predictor.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
+// DefaultPredictorConfig returns the paper's 368 KB COPR sizing.
+func DefaultPredictorConfig() PredictorConfig { return copr.DefaultConfig() }
+
+// settings is what the functional options assemble: framework Options
+// plus the engine-level knobs that only NewEngine consumes.
+type settings struct {
+	opts       Options
+	shards     int
+	queueDepth int
+	maxLines   uint64
+}
+
+// Option customizes a constructor. Options compose left to right; later
+// options win.
+type Option func(*settings)
+
+// WithOptions replaces the framework Options wholesale — the bridge from
+// the classic struct to the functional-options surface. Engine-level
+// settings (shards, queue depth, capacity) are untouched.
+func WithOptions(o Options) Option {
+	return func(s *settings) { s.opts = o }
+}
+
+// WithCIDWidth sets the Compression ID width in bits (15 in the paper,
+// valid range [1,15] — checked at construction).
+func WithCIDWidth(bits int) Option {
+	return func(s *settings) { s.opts.CIDBits = bits }
+}
+
+// WithSeed sets the seed deriving the boot-time CID and scrambler key.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.opts.Seed = seed }
+}
+
+// WithPredictorSizing replaces the COPR predictor sizing (see
+// DefaultPredictorConfig for the paper's 368 KB split).
+func WithPredictorSizing(cfg PredictorConfig) Option {
+	return func(s *settings) { s.opts.Predictor = cfg }
+}
+
+// WithoutPredictor runs BLEM-only: reads conservatively fetch both
+// sub-rank blocks.
+func WithoutPredictor() Option {
+	return func(s *settings) { s.opts.DisablePredictor = true }
+}
+
+// WithExtendedCompression adds the CPack dictionary codec to the
+// compression engine (the §IV-A5 multi-algorithm configuration).
+func WithExtendedCompression() Option {
+	return func(s *settings) { s.opts.ExtendedCompression = true }
+}
+
+// WithShards sets an Engine's shard count (0 = GOMAXPROCS). Ignored by
+// NewMemoryWith, which always builds a single unsharded Memory.
+func WithShards(n int) Option {
+	return func(s *settings) { s.shards = n }
+}
+
+// WithQueueDepth sets an Engine's per-shard pipeline buffer (0 = 64).
+// Ignored by NewMemoryWith.
+func WithQueueDepth(n int) Option {
+	return func(s *settings) { s.queueDepth = n }
+}
+
+// WithMaxLines bounds an Engine's line address space: ops at addresses
+// >= n fail with ErrOutOfRange. 0 (the default) means unbounded. Ignored
+// by NewMemoryWith.
+func WithMaxLines(n uint64) Option {
+	return func(s *settings) { s.maxLines = n }
+}
+
+func apply(opts []Option) settings {
+	s := settings{opts: core.DefaultOptions()}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
 // New builds a Framework.
 func New(opts Options) (*Framework, error) { return core.New(opts) }
 
-// NewMemory builds a functional compressed Memory.
+// NewMemory builds a functional compressed Memory from an Options struct.
 func NewMemory(opts Options) (*Memory, error) { return core.NewMemory(opts) }
+
+// NewMemoryWith builds a functional compressed Memory from functional
+// options, starting from DefaultOptions.
+func NewMemoryWith(opts ...Option) (*Memory, error) {
+	return core.NewMemory(apply(opts).opts)
+}
+
+// NewEngine builds a sharded concurrent Engine from functional options,
+// starting from DefaultOptions and GOMAXPROCS shards. A 1-shard engine
+// produces bit-identical results to a plain Memory with the same
+// options. Close it to drain the pipelines.
+func NewEngine(opts ...Option) (*Engine, error) {
+	s := apply(opts)
+	return shard.New(s.opts, shard.Config{
+		Shards:     s.shards,
+		QueueDepth: s.queueDepth,
+		MaxLines:   s.maxLines,
+	})
+}

@@ -3,6 +3,7 @@ package attache_test
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"attache"
@@ -28,8 +29,13 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if !bytes.Equal(back, line) {
 		t.Fatal("round trip mismatch")
 	}
-	if s := mem.Stats.BandwidthSavings(); s <= 0 {
+	if s := mem.StatsSnapshot().BandwidthSavings(); s <= 0 {
 		t.Fatalf("compressible data saved no bandwidth (%.3f)", s)
+	}
+	// The deprecated Stats field stays supported and coherent with the
+	// snapshot for single-goroutine callers.
+	if mem.Stats.BandwidthSavings() != mem.StatsSnapshot().BandwidthSavings() {
+		t.Fatal("deprecated Stats field diverged from StatsSnapshot")
 	}
 }
 
@@ -52,5 +58,137 @@ func TestPublicFramework(t *testing.T) {
 	got, _, err := f.Load(7, st)
 	if err != nil || !bytes.Equal(got, line) {
 		t.Fatal("load failed")
+	}
+}
+
+// TestFunctionalOptions checks the options surface composes and agrees
+// with the classic Options struct.
+func TestFunctionalOptions(t *testing.T) {
+	mem, err := attache.NewMemoryWith(
+		attache.WithCIDWidth(13),
+		attache.WithSeed(99),
+		attache.WithPredictorSizing(attache.DefaultPredictorConfig()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := attache.DefaultOptions()
+	o.CIDBits = 13
+	o.Seed = 99
+	ref, err := attache.NewMemory(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make([]byte, attache.LineSize)
+	for a := uint64(0); a < 64; a++ {
+		line[0] = byte(a)
+		if err := mem.Write(a, line); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Write(a, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mem.StatsSnapshot() != ref.StatsSnapshot() {
+		t.Fatal("functional options diverge from the equivalent Options struct")
+	}
+
+	// WithOptions bridges the struct into the options chain; a later
+	// option overrides it.
+	mem2, err := attache.NewMemoryWith(attache.WithOptions(o), attache.WithSeed(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem2 == nil {
+		t.Fatal("nil memory")
+	}
+	if _, err := attache.NewMemoryWith(attache.WithCIDWidth(0)); !errors.Is(err, attache.ErrOutOfRange) {
+		t.Fatalf("CID width 0 err = %v, want ErrOutOfRange", err)
+	}
+}
+
+// TestSentinelErrors checks the typed errors flow through the public API.
+func TestSentinelErrors(t *testing.T) {
+	mem, err := attache.NewMemoryWith()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Write(1, []byte("too short")); !errors.Is(err, attache.ErrBadLineSize) {
+		t.Fatalf("short write err = %v, want ErrBadLineSize", err)
+	}
+	if _, err := mem.Read(1); !errors.Is(err, attache.ErrNeverWritten) {
+		t.Fatalf("unwritten read err = %v, want ErrNeverWritten", err)
+	}
+}
+
+// TestMemoryBatch checks the fail-fast Memory batch helpers.
+func TestMemoryBatch(t *testing.T) {
+	mem, err := attache.NewMemoryWith()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(fill byte) []byte {
+		l := make([]byte, attache.LineSize)
+		for i := range l {
+			l[i] = fill
+		}
+		return l
+	}
+	if err := mem.BatchWrite([]uint64{1, 2, 3}, [][]byte{mk(1), mk(2), mk(3)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.BatchRead([]uint64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[0], mk(3)) || !bytes.Equal(got[1], mk(1)) {
+		t.Fatal("batch read order not preserved")
+	}
+	// Fail-fast: the error names the op and wraps the sentinel; the
+	// successful prefix is returned.
+	got, err = mem.BatchRead([]uint64{1, 99, 2})
+	if !errors.Is(err, attache.ErrNeverWritten) {
+		t.Fatalf("batch read err = %v, want ErrNeverWritten", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("batch read prefix = %d lines, want 1", len(got))
+	}
+}
+
+// TestPublicEngine smoke-tests the concurrent entry point through the
+// public surface; the heavy concurrency coverage lives in internal/shard.
+func TestPublicEngine(t *testing.T) {
+	eng, err := attache.NewEngine(attache.WithShards(2), attache.WithMaxLines(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	line := make([]byte, attache.LineSize)
+	if err := eng.Write(5, line); err != nil {
+		t.Fatal(err)
+	}
+	back, err := eng.Read(5)
+	if err != nil || !bytes.Equal(back, line) {
+		t.Fatalf("engine round trip: %v", err)
+	}
+	if err := eng.Write(4096, line); !errors.Is(err, attache.ErrOutOfRange) {
+		t.Fatalf("beyond MaxLines err = %v, want ErrOutOfRange", err)
+	}
+	res, err := eng.Do([]attache.Op{{Write: true, Addr: 6, Data: line}, {Addr: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[1].Err != nil || !bytes.Equal(res[1].Data, line) {
+		t.Fatal("engine batch round trip failed")
+	}
+	snap := eng.StatsSnapshot()
+	if snap.Total.Writes != 2 || snap.Total.Reads != 2 || len(snap.PerShard) != 2 {
+		t.Fatalf("engine snapshot off: %+v", snap.Total)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Read(5); !errors.Is(err, attache.ErrClosed) {
+		t.Fatalf("read after close err = %v, want ErrClosed", err)
 	}
 }

@@ -25,9 +25,10 @@ func ExampleMemory() {
 	if err != nil {
 		panic(err)
 	}
+	snap := mem.StatsSnapshot()
 	fmt.Println("round trip ok:", binary.LittleEndian.Uint64(back) == 0x1000_0000)
-	fmt.Println("compressed lines:", mem.Stats.CompressedLines.Value())
-	fmt.Println("blocks written:", mem.Stats.BlocksWritten.Value(), "(an uncompressed system writes 2)")
+	fmt.Println("compressed lines:", snap.CompressedLines)
+	fmt.Println("blocks written:", snap.BlocksWritten, "(an uncompressed system writes 2)")
 	// Output:
 	// round trip ok: true
 	// compressed lines: 1

@@ -25,7 +25,7 @@ type kvStore struct {
 }
 
 func newKVStore() (*kvStore, error) {
-	mem, err := attache.NewMemory(attache.DefaultOptions())
+	mem, err := attache.NewMemoryWith()
 	if err != nil {
 		return nil, err
 	}
@@ -131,15 +131,14 @@ func main() {
 		}
 	}
 
-	st := &store.mem.Stats
+	st := store.mem.StatsSnapshot()
 	fmt.Println("Attaché-backed key-value store")
-	fmt.Printf("  records:            %d (%d lines)\n", records, store.mem.Lines())
+	fmt.Printf("  records:            %d (%d lines)\n", records, st.Lines)
 	fmt.Printf("  lookups verified:   %d\n", hits)
-	fmt.Printf("  compressed lines:   %.1f%%\n",
-		float64(st.CompressedLines.Value())/float64(store.mem.Lines())*100)
+	fmt.Printf("  compressed lines:   %.1f%%\n", st.CompressedLineRatio()*100)
 	fmt.Printf("  bandwidth savings:  %.1f%% of sub-rank transfers avoided\n",
 		st.BandwidthSavings()*100)
-	fmt.Printf("  COPR accuracy:      %.1f%%\n", store.mem.PredictionAccuracy()*100)
+	fmt.Printf("  COPR accuracy:      %.1f%%\n", st.PredictionAccuracy*100)
 	fmt.Printf("  RA (CID collision): %d accesses across %d operations\n",
-		st.RAAccesses.Value(), st.Reads.Value()+st.Writes.Value())
+		st.RAAccesses, st.Reads+st.Writes)
 }

@@ -14,7 +14,9 @@ import (
 )
 
 func main() {
-	mem, err := attache.NewMemory(attache.DefaultOptions())
+	// Functional options; attache.NewMemory(attache.DefaultOptions())
+	// still works for struct-style configuration.
+	mem, err := attache.NewMemoryWith(attache.WithSeed(0x41747461))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,17 +51,17 @@ func main() {
 		}
 	}
 
-	st := &mem.Stats
+	st := mem.StatsSnapshot()
 	fmt.Println("Attaché quickstart")
-	fmt.Printf("  lines stored:          %d\n", mem.Lines())
+	fmt.Printf("  lines stored:          %d\n", st.Lines)
 	fmt.Printf("  compressed lines:      %d (%.1f%%)\n",
-		st.CompressedLines.Value(), float64(st.CompressedLines.Value())/lines*100)
-	fmt.Printf("  reads / writes:        %d / %d\n", st.Reads.Value(), st.Writes.Value())
+		st.CompressedLines, st.CompressedLineRatio()*100)
+	fmt.Printf("  reads / writes:        %d / %d\n", st.Reads, st.Writes)
 	fmt.Printf("  32B blocks moved:      %d (uncompressed system would move %d)\n",
-		st.BlocksRead.Value()+st.BlocksWritten.Value(), 2*(st.Reads.Value()+st.Writes.Value()))
+		st.BlocksRead+st.BlocksWritten, 2*(st.Reads+st.Writes))
 	fmt.Printf("  bandwidth savings:     %.1f%%\n", st.BandwidthSavings()*100)
-	fmt.Printf("  COPR accuracy:         %.1f%%\n", mem.PredictionAccuracy()*100)
-	fmt.Printf("  mispredictions:        %d\n", st.Mispredictions.Value())
-	fmt.Printf("  replacement-area uses: %d (CID collisions)\n", st.RAAccesses.Value())
+	fmt.Printf("  COPR accuracy:         %.1f%%\n", st.PredictionAccuracy*100)
+	fmt.Printf("  mispredictions:        %d\n", st.Mispredictions)
+	fmt.Printf("  replacement-area uses: %d (CID collisions)\n", st.RAAccesses)
 	fmt.Printf("  SRAM overhead:         %d KB\n", mem.Framework().StorageOverheadBytes()>>10)
 }

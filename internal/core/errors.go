@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors for the framework and memory layers. Callers
+// match them with errors.Is; every returned error wraps one of these with
+// operation-specific context (address, sizes).
+var (
+	// ErrBadLineSize reports a Store/Write payload that is not exactly
+	// LineSize bytes.
+	ErrBadLineSize = errors.New("attache: line must be exactly 64 bytes")
+
+	// ErrOutOfRange reports a parameter or address outside its configured
+	// range (CID width outside [1,15], a line address beyond an engine's
+	// configured capacity).
+	ErrOutOfRange = errors.New("attache: out of range")
+
+	// ErrNeverWritten reports a read of a line address that was never
+	// written. A real controller would return whatever junk DRAM holds,
+	// which no software relies on, so the functional memory rejects it.
+	ErrNeverWritten = errors.New("attache: line was never written")
+)

@@ -83,7 +83,7 @@ type Framework struct {
 // New builds a framework.
 func New(opts Options) (*Framework, error) {
 	if opts.CIDBits < 1 || opts.CIDBits > 15 {
-		return nil, fmt.Errorf("core: CID width %d out of range [1,15]", opts.CIDBits)
+		return nil, fmt.Errorf("core: CID width %d not in [1,15]: %w", opts.CIDBits, ErrOutOfRange)
 	}
 	eng := compress.NewEngine()
 	if opts.ExtendedCompression {
@@ -110,7 +110,7 @@ func New(opts Options) (*Framework, error) {
 // a CID collision. data must be exactly 64 bytes.
 func (f *Framework) Store(lineAddr uint64, data []byte) (StoredLine, AccessTrace, error) {
 	if len(data) != LineSize {
-		return StoredLine{}, AccessTrace{}, fmt.Errorf("core: Store needs a %d-byte line, got %d", LineSize, len(data))
+		return StoredLine{}, AccessTrace{}, fmt.Errorf("core: Store needs a %d-byte line, got %d: %w", LineSize, len(data), ErrBadLineSize)
 	}
 	var out StoredLine
 	tr := AccessTrace{}

@@ -17,6 +17,7 @@ type MemoryStats struct {
 	Mispredictions  stats.Counter
 	RAAccesses      stats.Counter
 	CompressedLines stats.Counter // current count of compressed lines
+	RAOccupancy     stats.Counter // current count of lines parked in the Replacement Area
 }
 
 // BandwidthSavings reports the fraction of 32-byte transfers avoided
@@ -30,9 +31,72 @@ func (s *MemoryStats) BandwidthSavings() float64 {
 	return 1 - float64(moved)/float64(2*total)
 }
 
+// StatsSnapshot is an immutable copy of a Memory's counters plus its
+// derived metrics, taken at one instant. Snapshots are plain values:
+// safe to retain, compare, serialize, and merge across shards.
+type StatsSnapshot struct {
+	Reads           uint64 `json:"reads"`
+	Writes          uint64 `json:"writes"`
+	BlocksRead      uint64 `json:"blocks_read"`
+	BlocksWritten   uint64 `json:"blocks_written"`
+	Mispredictions  uint64 `json:"mispredictions"`
+	RAAccesses      uint64 `json:"ra_accesses"`
+	CompressedLines uint64 `json:"compressed_lines"`
+	RAOccupancy     uint64 `json:"ra_occupancy"`
+	Lines           uint64 `json:"lines"`
+	// PredictionAccuracy is COPR's running accuracy at snapshot time
+	// (1 when the predictor is disabled). When snapshots are merged with
+	// Accumulate it becomes the reads-weighted mean across shards.
+	PredictionAccuracy float64 `json:"prediction_accuracy"`
+}
+
+// BandwidthSavings reports the fraction of 32-byte transfers the snapshot
+// saw avoided relative to an uncompressed system.
+func (s StatsSnapshot) BandwidthSavings() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(s.BlocksRead+s.BlocksWritten)/float64(2*total)
+}
+
+// CompressedLineRatio reports the fraction of stored lines currently
+// compressed, or 0 when the memory is empty.
+func (s StatsSnapshot) CompressedLineRatio() float64 {
+	if s.Lines == 0 {
+		return 0
+	}
+	return float64(s.CompressedLines) / float64(s.Lines)
+}
+
+// Accumulate folds another snapshot into s: counters add, and
+// PredictionAccuracy becomes the reads-weighted mean of the two, so
+// merging per-shard snapshots yields fleet-level metrics.
+func (s *StatsSnapshot) Accumulate(o StatsSnapshot) {
+	if s.Reads+o.Reads > 0 {
+		s.PredictionAccuracy = (s.PredictionAccuracy*float64(s.Reads) +
+			o.PredictionAccuracy*float64(o.Reads)) / float64(s.Reads+o.Reads)
+	}
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.BlocksRead += o.BlocksRead
+	s.BlocksWritten += o.BlocksWritten
+	s.Mispredictions += o.Mispredictions
+	s.RAAccesses += o.RAAccesses
+	s.CompressedLines += o.CompressedLines
+	s.RAOccupancy += o.RAOccupancy
+	s.Lines += o.Lines
+}
+
 // Memory is a functional compressed memory backed by the Attaché
 // framework: a sparse map of stored lines with exact Store/Load
 // round-trips. It is the container the examples build on.
+//
+// A Memory is NOT safe for concurrent use: Read mutates the COPR
+// predictor and the stats counters, so concurrent Read/Write or
+// Read/PredictionAccuracy calls race. The concurrent entry point is the
+// sharded engine (internal/shard, attache.NewEngine), which gives each
+// shard exclusive ownership of one Memory.
 type Memory struct {
 	f     *Framework
 	lines map[uint64]StoredLine
@@ -40,7 +104,13 @@ type Memory struct {
 	// written line so Read can assert the compress/scramble/BLEM
 	// round-trip returned exactly what was stored.
 	shadow map[uint64][LineSize]byte
-	Stats  MemoryStats
+	// Stats holds the memory's traffic counters.
+	//
+	// Deprecated: read stats through StatsSnapshot instead, which returns
+	// an immutable copy that stays coherent while an engine is running.
+	// Direct field access remains supported for single-goroutine callers
+	// but will not be extended.
+	Stats MemoryStats
 }
 
 // NewMemory builds a memory with its own framework instance.
@@ -90,16 +160,21 @@ func (m *Memory) Write(lineAddr uint64, data []byte) error {
 	case !st.Compressed && existed && prev.Compressed:
 		m.Stats.CompressedLines.Dec()
 	}
+	switch {
+	case st.Collision && (!existed || !prev.Collision):
+		m.Stats.RAOccupancy.Inc()
+	case !st.Collision && existed && prev.Collision:
+		m.Stats.RAOccupancy.Dec()
+	}
 	return nil
 }
 
 // Read loads the 64-byte line at lineAddr. Reading a never-written line
-// is an error — a real controller would return whatever junk DRAM holds,
-// which no software relies on.
+// returns ErrNeverWritten.
 func (m *Memory) Read(lineAddr uint64) ([]byte, error) {
 	st, ok := m.lines[lineAddr]
 	if !ok {
-		return nil, fmt.Errorf("core: line %d was never written", lineAddr)
+		return nil, fmt.Errorf("core: line %#x: %w", lineAddr, ErrNeverWritten)
 	}
 	data, tr, err := m.f.Load(lineAddr, st)
 	if err != nil {
@@ -121,11 +196,61 @@ func (m *Memory) Read(lineAddr uint64) ([]byte, error) {
 	return data, nil
 }
 
+// BatchRead loads the lines at addrs in order. It fails fast: on the
+// first error it returns the successfully read prefix alongside an error
+// that names the failing index and address and wraps the cause (so
+// errors.Is sees ErrNeverWritten etc.). Per-op failure isolation lives
+// one level up, in the sharded engine's Do.
+func (m *Memory) BatchRead(addrs []uint64) ([][]byte, error) {
+	out := make([][]byte, 0, len(addrs))
+	for i, a := range addrs {
+		data, err := m.Read(a)
+		if err != nil {
+			return out, fmt.Errorf("core: batch read op %d (addr %#x): %w", i, a, err)
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// BatchWrite stores lines[i] at addrs[i] in order, failing fast like
+// BatchRead. The two slices must be the same length.
+func (m *Memory) BatchWrite(addrs []uint64, lines [][]byte) error {
+	if len(addrs) != len(lines) {
+		return fmt.Errorf("core: batch write has %d addrs but %d lines", len(addrs), len(lines))
+	}
+	for i, a := range addrs {
+		if err := m.Write(a, lines[i]); err != nil {
+			return fmt.Errorf("core: batch write op %d (addr %#x): %w", i, a, err)
+		}
+	}
+	return nil
+}
+
+// StatsSnapshot returns an immutable copy of the memory's counters and
+// derived metrics. This is the supported way to read stats: the returned
+// value never changes, so callers can hold it across further traffic.
+func (m *Memory) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:              m.Stats.Reads.Value(),
+		Writes:             m.Stats.Writes.Value(),
+		BlocksRead:         m.Stats.BlocksRead.Value(),
+		BlocksWritten:      m.Stats.BlocksWritten.Value(),
+		Mispredictions:     m.Stats.Mispredictions.Value(),
+		RAAccesses:         m.Stats.RAAccesses.Value(),
+		CompressedLines:    m.Stats.CompressedLines.Value(),
+		RAOccupancy:        m.Stats.RAOccupancy.Value(),
+		Lines:              uint64(len(m.lines)),
+		PredictionAccuracy: m.PredictionAccuracy(),
+	}
+}
+
 // Lines reports how many distinct lines have been written.
 func (m *Memory) Lines() int { return len(m.lines) }
 
 // PredictionAccuracy reports COPR's running accuracy, or 1 when the
-// predictor is disabled.
+// predictor is disabled. Like every Memory method it must not race with
+// Read/Write; concurrent callers go through the sharded engine.
 func (m *Memory) PredictionAccuracy() float64 {
 	if m.f.Copr == nil {
 		return 1

@@ -1,0 +1,420 @@
+// Package serve is the HTTP face of the sharded engine: the cmd/attached
+// daemon is a thin wrapper around Server. Endpoints:
+//
+//	POST /v1/read    {"addr":42}                     -> {"addr":42,"data":"<base64 64B>"}
+//	POST /v1/write   {"addr":42,"data":"<base64>"}   -> {"addr":42,"ok":true}
+//	POST /v1/batch   ops as a JSON array, or one JSON object per line     -> per-op results
+//	GET  /v1/stats   engine snapshot (totals + per shard) as JSON
+//	GET  /healthz    liveness ("ok", or 503 once draining)
+//	GET  /metrics    Prometheus text exposition
+//
+// Failures map to status codes by sentinel: ErrNeverWritten -> 404,
+// ErrBadLineSize / ErrOutOfRange -> 400, ErrClosed -> 503. Batch requests
+// isolate failures per op and always answer 200 with per-op errors
+// inline ("partial failure" semantics).
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"attache/internal/core"
+	"attache/internal/shard"
+)
+
+// Config holds the daemon-level knobs: where to listen, HTTP timeouts,
+// request-size ceilings, and how long a drain may take.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080" or "127.0.0.1:0".
+	Addr string
+	// ReadTimeout / WriteTimeout bound one HTTP exchange; zero means the
+	// stdlib default (no timeout).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive connections.
+	IdleTimeout time.Duration
+	// ShutdownTimeout bounds request draining once shutdown starts.
+	// 0 defaults to 10s.
+	ShutdownTimeout time.Duration
+	// MaxBatchOps caps ops per /v1/batch request. 0 defaults to 4096.
+	MaxBatchOps int
+	// MaxBodyBytes caps a request body. 0 defaults to 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShutdownTimeout == 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.MaxBatchOps == 0 {
+		c.MaxBatchOps = 4096
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server serves one shard.Engine over HTTP.
+type Server struct {
+	eng      *shard.Engine
+	cfg      Config
+	mux      *http.ServeMux
+	metrics  *metricsSet
+	started  time.Time
+	draining atomic.Bool
+
+	readyCh chan struct{}
+	addr    atomic.Value // string, set once listening
+}
+
+// New wires a server around eng. Call ListenAndServe to run it, or test
+// against Handler directly.
+func New(eng *shard.Engine, cfg Config) *Server {
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		readyCh: make(chan struct{}),
+	}
+	s.metrics = newMetricsSet("/v1/read", "/v1/write", "/v1/batch", "/v1/stats", "/healthz", "/metrics")
+	s.mux.HandleFunc("/v1/read", s.instrument("/v1/read", post(s.handleRead)))
+	s.mux.HandleFunc("/v1/write", s.instrument("/v1/write", post(s.handleWrite)))
+	s.mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", post(s.handleBatch)))
+	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	return s
+}
+
+// Handler exposes the routed endpoints, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready is closed once the listener is bound; Addr is valid after that.
+func (s *Server) Ready() <-chan struct{} { return s.readyCh }
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if v := s.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return s.cfg.Addr
+}
+
+// ListenAndServe runs the server until ctx is cancelled (the daemon
+// cancels on SIGTERM/SIGINT), then drains: stop accepting, finish
+// in-flight requests within ShutdownTimeout, and close the engine so
+// every queued op completes. Returns nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.addr.Store(ln.Addr().String())
+	close(s.readyCh)
+
+	srv := &http.Server{
+		Handler:      s.mux,
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+		IdleTimeout:  s.cfg.IdleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		s.eng.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	s.draining.Store(true)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	err = srv.Shutdown(dctx) // drains in-flight requests
+	if cerr := s.eng.Close(); cerr != nil && !errors.Is(cerr, shard.ErrClosed) && err == nil {
+		err = cerr
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return err
+}
+
+// --- request/response bodies ---------------------------------------------
+
+type readReq struct {
+	Addr *uint64 `json:"addr"`
+}
+
+type writeReq struct {
+	Addr *uint64 `json:"addr"`
+	Data []byte  `json:"data"` // base64 in JSON
+}
+
+type lineResp struct {
+	Addr uint64 `json:"addr"`
+	Data []byte `json:"data,omitempty"`
+	OK   bool   `json:"ok,omitempty"`
+}
+
+type errResp struct {
+	Error string `json:"error"`
+}
+
+// batchOp is one line of a /v1/batch request.
+type batchOp struct {
+	Op   string  `json:"op"` // "read" or "write"
+	Addr *uint64 `json:"addr"`
+	Data []byte  `json:"data,omitempty"`
+}
+
+// batchOpResult reports one op's outcome; exactly one of Data/OK/Error
+// is meaningful.
+type batchOpResult struct {
+	Addr  uint64 `json:"addr"`
+	Data  []byte `json:"data,omitempty"`
+	OK    bool   `json:"ok,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+type batchResp struct {
+	Results []batchOpResult `json:"results"`
+	Failed  int             `json:"failed"`
+}
+
+// --- plumbing -------------------------------------------------------------
+
+// statusWriter remembers the status code for the metrics layer.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errResp{Error: "use POST"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps engine errors to HTTP statuses via the typed sentinels.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrNeverWritten):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBadLineSize), errors.Is(err, core.ErrOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, shard.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errResp{Error: err.Error()})
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "bad JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// --- handlers -------------------------------------------------------------
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	var req readReq
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Addr == nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "missing addr"})
+		return
+	}
+	data, err := s.eng.Read(*req.Addr)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, lineResp{Addr: *req.Addr, Data: data})
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	var req writeReq
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Addr == nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "missing addr"})
+		return
+	}
+	if err := s.eng.Write(*req.Addr, req.Data); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, lineResp{Addr: *req.Addr, OK: true})
+}
+
+// decodeBatch accepts either a single JSON array of ops or a stream of
+// JSON objects (one per line — NDJSON — or whitespace-separated).
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]batchOp, bool) {
+	br := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	first, err := firstNonSpace(br)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: "empty batch body"})
+		return nil, false
+	}
+	dec := json.NewDecoder(br)
+	var ops []batchOp
+	if first == '[' {
+		if err := dec.Decode(&ops); err != nil {
+			writeJSON(w, http.StatusBadRequest, errResp{Error: "bad JSON: " + err.Error()})
+			return nil, false
+		}
+	} else {
+		for {
+			var op batchOp
+			if err := dec.Decode(&op); err == io.EOF {
+				break
+			} else if err != nil {
+				writeJSON(w, http.StatusBadRequest, errResp{Error: "bad JSON: " + err.Error()})
+				return nil, false
+			}
+			ops = append(ops, op)
+			if len(ops) > s.cfg.MaxBatchOps {
+				break
+			}
+		}
+	}
+	if len(ops) > s.cfg.MaxBatchOps {
+		writeJSON(w, http.StatusBadRequest,
+			errResp{Error: fmt.Sprintf("batch of %d ops exceeds limit %d", len(ops), s.cfg.MaxBatchOps)})
+		return nil, false
+	}
+	return ops, true
+}
+
+// firstNonSpace peeks past leading JSON whitespace without consuming it.
+func firstNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b, br.UnreadByte()
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqOps, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	results := make([]batchOpResult, len(reqOps))
+	ops := make([]shard.Op, 0, len(reqOps))
+	opIdx := make([]int, 0, len(reqOps)) // results index of ops[k]
+	for i, op := range reqOps {
+		if op.Addr == nil {
+			results[i].Error = "missing addr"
+			continue
+		}
+		results[i].Addr = *op.Addr
+		switch op.Op {
+		case "read":
+			ops = append(ops, shard.Op{Addr: *op.Addr})
+			opIdx = append(opIdx, i)
+		case "write":
+			ops = append(ops, shard.Op{Write: true, Addr: *op.Addr, Data: op.Data})
+			opIdx = append(opIdx, i)
+		default:
+			results[i].Error = fmt.Sprintf("unknown op %q (want read or write)", op.Op)
+		}
+	}
+	res, err := s.eng.Do(ops)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	failed := 0
+	for k, rr := range res {
+		i := opIdx[k]
+		switch {
+		case rr.Err != nil:
+			results[i].Error = rr.Err.Error()
+		case reqOps[i].Op == "read":
+			results[i].Data = rr.Data
+		default:
+			results[i].OK = true
+		}
+	}
+	for _, r := range results {
+		if r.Error != "" {
+			failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResp{Results: results, Failed: failed})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.StatsSnapshot()
+	writeJSON(w, http.StatusOK, struct {
+		shard.Snapshot
+		Shards        int     `json:"shards"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{snap, s.eng.Shards(), time.Since(s.started).Seconds()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.renderMetrics())
+}

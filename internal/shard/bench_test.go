@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"attache/internal/core"
+)
+
+// BenchmarkShardedThroughput measures lines/second through the engine at
+// 1..8 shards against the single-Memory serial baseline, with every
+// client goroutine submitting mixed 64-op batches (3 reads per write).
+// Scaling beyond 1 shard needs >1 CPU; on a 1-CPU host the sharded
+// numbers track the baseline minus pipeline overhead.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const batch = 64
+	const space = 1 << 14 // line addresses touched
+
+	mkOps := func(rng *rand.Rand, line []byte) []Op {
+		ops := make([]Op, batch)
+		for i := range ops {
+			a := uint64(rng.Intn(space))
+			if i%4 == 0 {
+				ops[i] = Op{Write: true, Addr: a, Data: line}
+			} else {
+				ops[i] = Op{Addr: a % (space / 2)} // reads stay in the prefilled half
+			}
+		}
+		return ops
+	}
+	line := make([]byte, core.LineSize)
+	for w := 0; w < 8; w++ {
+		line[w*8] = byte(w)
+	}
+
+	b.Run("baseline-memory", func(b *testing.B) {
+		mem, err := core.NewMemory(core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for a := uint64(0); a < space/2; a++ {
+			if err := mem.Write(a, line); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, op := range mkOps(rng, line) {
+				if op.Write {
+					if err := mem.Write(op.Addr, op.Data); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := mem.Read(op.Addr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "lines/s")
+	})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			e, err := New(core.DefaultOptions(), Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			for a := uint64(0); a < space/2; a++ {
+				if err := e.Write(a, line); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var seed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					res, err := e.Do(mkOps(rng, line))
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range res {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			})
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "lines/s")
+		})
+	}
+}

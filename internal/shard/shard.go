@@ -1,0 +1,322 @@
+// Package shard provides the concurrent entry point to the Attaché
+// functional memory: an N-way address-sharded pool of core.Memory
+// instances, each owned by a single goroutine fed through a batched
+// request pipeline.
+//
+// The design follows the shape CRAM and the CXL-pooling line of work give
+// compressed memory — a shared pool behind a request interface:
+//
+//   - Sharding: a line address is mixed and reduced to a shard index, so
+//     each 64-byte line lives in exactly one shard and round-trips are
+//     exact regardless of shard count. Every shard holds an independent
+//     framework (its own CID, scrambler key, and COPR predictor), exactly
+//     as the paper's per-controller state would be replicated across
+//     memory controllers.
+//   - Pipeline: callers submit batches of ops; the engine splits a batch
+//     by shard, enqueues one task per touched shard, and the per-shard
+//     goroutine applies the ops back-to-back — the hot path takes no
+//     locks around the Memory itself, because ownership is exclusive.
+//   - Stats: each shard mutates only its own Memory's counters. Snapshot
+//     routes a marker through every pipeline so each shard publishes a
+//     coherent core.StatsSnapshot, then merges them with Accumulate —
+//     lock-free aggregation by ownership rather than by atomics.
+//
+// core.Memory itself is not safe for concurrent use; this package is how
+// concurrent callers (cmd/attached, tests, user code via
+// attache.NewEngine) get at it.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"attache/internal/core"
+)
+
+// ErrClosed reports an operation on an engine after Close.
+var ErrClosed = errors.New("shard: engine closed")
+
+// Config sizes the engine.
+type Config struct {
+	// Shards is the number of independent Memory shards (and goroutines).
+	// 0 defaults to GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard pipeline buffer: how many submitted
+	// tasks a shard can hold before submitters block (backpressure).
+	// 0 defaults to 64.
+	QueueDepth int
+	// MaxLines, when non-zero, bounds the line address space: ops at
+	// addresses >= MaxLines fail with core.ErrOutOfRange.
+	MaxLines uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Op is one read or write in a batch.
+type Op struct {
+	// Write selects the operation; false means read.
+	Write bool
+	// Addr is the line address.
+	Addr uint64
+	// Data is the 64-byte payload for writes; it must not be mutated
+	// until the submitting call returns. Ignored for reads.
+	Data []byte
+}
+
+// Result is the outcome of one Op, in submission order.
+type Result struct {
+	// Data holds the line read; nil for writes and failed ops.
+	Data []byte
+	// Err is the op's failure, if any; batch submission isolates
+	// failures per op, so one bad op never poisons its neighbours.
+	Err error
+}
+
+// task is one shard's slice of a submitted batch, or (when snap is
+// non-nil) a stats-snapshot marker flowing through the same pipeline so
+// it serializes against in-flight ops.
+type task struct {
+	ops  []Op
+	idx  []int // positions of ops in the caller's batch / result slice
+	res  []Result
+	snap *core.StatsSnapshot
+	done *sync.WaitGroup
+}
+
+// worker owns one shard: one Memory, one goroutine, one queue.
+type worker struct {
+	mem  *core.Memory
+	reqs chan task
+}
+
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for t := range w.reqs {
+		if t.snap != nil {
+			*t.snap = w.mem.StatsSnapshot()
+			t.done.Done()
+			continue
+		}
+		for i, j := range t.idx {
+			op := t.ops[i]
+			if op.Write {
+				t.res[j].Err = w.mem.Write(op.Addr, op.Data)
+			} else {
+				t.res[j].Data, t.res[j].Err = w.mem.Read(op.Addr)
+			}
+		}
+		t.done.Done()
+	}
+}
+
+// Engine is the sharded concurrent compressed-memory pool. All methods
+// are safe for concurrent use by any number of goroutines.
+type Engine struct {
+	cfg       Config
+	shards    []*worker
+	sramBytes int
+
+	mu     sync.RWMutex // guards closed vs. submissions; not on the per-shard hot path
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds an engine of cfg.Shards independent Memory shards, each
+// configured from opts. Shard i derives its seed from opts.Seed so a
+// 1-shard engine is bit-identical to a plain NewMemory(opts).
+func New(opts core.Options, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d not in [1,∞): %w", cfg.Shards, core.ErrOutOfRange)
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("shard: queue depth %d not in [1,∞): %w", cfg.QueueDepth, core.ErrOutOfRange)
+	}
+	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards)}
+	for i := range e.shards {
+		o := opts
+		// Shard 0 keeps the caller's seed exactly (single-shard results
+		// must match a plain Memory); later shards mix in their index so
+		// each gets a distinct CID and scrambler key.
+		o.Seed = opts.Seed ^ int64(uint64(i)*0x9E3779B97F4A7C15)
+		mem, err := core.NewMemory(o)
+		if err != nil {
+			return nil, err
+		}
+		e.sramBytes += mem.Framework().StorageOverheadBytes()
+		e.shards[i] = &worker{mem: mem, reqs: make(chan task, cfg.QueueDepth)}
+		e.wg.Add(1)
+		go e.shards[i].run(&e.wg)
+	}
+	return e, nil
+}
+
+// shardFor maps a line address to its owning shard. The multiply-xor mix
+// keeps strided address patterns from piling onto one shard.
+func (e *Engine) shardFor(addr uint64) int {
+	x := addr * 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	return int(x % uint64(len(e.shards)))
+}
+
+// Shards reports the configured shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// StorageOverheadBytes reports the summed SRAM cost of every shard's
+// predictor tables and CID register.
+func (e *Engine) StorageOverheadBytes() int { return e.sramBytes }
+
+// Do submits a batch of ops and blocks until every op completes,
+// returning results in submission order. Failures are isolated per op.
+// Do itself errors only when the engine is closed.
+//
+// Ops for the same shard are applied in batch order; ops for different
+// shards run concurrently. Two racing Do calls that touch the same
+// address are serialized by that address's shard, in channel order.
+func (e *Engine) Do(ops []Op) ([]Result, error) {
+	res := make([]Result, len(ops))
+	if len(ops) == 0 {
+		return res, nil
+	}
+	perShard := make([][]int, len(e.shards))
+	for i, op := range ops {
+		if e.cfg.MaxLines > 0 && op.Addr >= e.cfg.MaxLines {
+			res[i].Err = fmt.Errorf("shard: addr %#x beyond configured capacity %d: %w",
+				op.Addr, e.cfg.MaxLines, core.ErrOutOfRange)
+			continue
+		}
+		s := e.shardFor(op.Addr)
+		perShard[s] = append(perShard[s], i)
+	}
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	var done sync.WaitGroup
+	for s, idx := range perShard {
+		if len(idx) == 0 {
+			continue
+		}
+		sub := make([]Op, len(idx))
+		for k, j := range idx {
+			sub[k] = ops[j]
+		}
+		done.Add(1)
+		e.shards[s].reqs <- task{ops: sub, idx: idx, res: res, done: &done}
+	}
+	e.mu.RUnlock()
+	done.Wait()
+	return res, nil
+}
+
+// Read loads the 64-byte line at addr through the pipeline.
+func (e *Engine) Read(addr uint64) ([]byte, error) {
+	res, err := e.Do([]Op{{Addr: addr}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Data, res[0].Err
+}
+
+// Write stores a 64-byte line at addr through the pipeline.
+func (e *Engine) Write(addr uint64, data []byte) error {
+	res, err := e.Do([]Op{{Write: true, Addr: addr, Data: data}})
+	if err != nil {
+		return err
+	}
+	return res[0].Err
+}
+
+// BatchRead loads every address, isolating failures per op.
+func (e *Engine) BatchRead(addrs []uint64) ([]Result, error) {
+	ops := make([]Op, len(addrs))
+	for i, a := range addrs {
+		ops[i] = Op{Addr: a}
+	}
+	return e.Do(ops)
+}
+
+// BatchWrite stores lines[i] at addrs[i], isolating failures per op.
+// The two slices must be the same length.
+func (e *Engine) BatchWrite(addrs []uint64, lines [][]byte) ([]Result, error) {
+	if len(addrs) != len(lines) {
+		return nil, fmt.Errorf("shard: batch write has %d addrs but %d lines", len(addrs), len(lines))
+	}
+	ops := make([]Op, len(addrs))
+	for i, a := range addrs {
+		ops[i] = Op{Write: true, Addr: a, Data: lines[i]}
+	}
+	return e.Do(ops)
+}
+
+// Snapshot is the engine-level stats view: the merged totals plus each
+// shard's own snapshot.
+type Snapshot struct {
+	// Total merges every shard with core.StatsSnapshot.Accumulate:
+	// counters sum; PredictionAccuracy is the reads-weighted mean.
+	Total core.StatsSnapshot `json:"total"`
+	// PerShard holds shard i's snapshot at index i.
+	PerShard []core.StatsSnapshot `json:"per_shard"`
+	// SRAMBytes is the summed predictor + CID register overhead.
+	SRAMBytes int `json:"sram_bytes"`
+}
+
+// StatsSnapshot captures a coherent per-shard snapshot by routing a
+// marker through every shard's pipeline (so it serializes against
+// in-flight ops) and merges the results. After Close it reads the idle
+// shards directly, so a final post-drain snapshot still works.
+func (e *Engine) StatsSnapshot() Snapshot {
+	snap := Snapshot{PerShard: make([]core.StatsSnapshot, len(e.shards)), SRAMBytes: e.sramBytes}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		// Workers have exited (Close waited for them), so direct reads
+		// are exclusive again.
+		for i, w := range e.shards {
+			snap.PerShard[i] = w.mem.StatsSnapshot()
+		}
+	} else {
+		var done sync.WaitGroup
+		done.Add(len(e.shards))
+		for i, w := range e.shards {
+			w.reqs <- task{snap: &snap.PerShard[i], done: &done}
+		}
+		e.mu.RUnlock()
+		done.Wait()
+	}
+	for _, s := range snap.PerShard {
+		snap.Total.Accumulate(s)
+	}
+	return snap
+}
+
+// Close drains every shard's pipeline and stops the shard goroutines.
+// In-flight and queued ops complete; subsequent submissions fail with
+// ErrClosed. Close is idempotent: the first call drains, later calls
+// report ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	for _, w := range e.shards {
+		close(w.reqs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
