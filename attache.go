@@ -83,6 +83,11 @@ type AccessTrace = core.AccessTrace
 // Engine is the sharded concurrent compressed-memory pool: N address-
 // sharded Memory shards, each owned by one goroutine behind a batched
 // request pipeline. All Engine methods are safe for concurrent use.
+//
+// Besides the blocking Do/Read/Write surface, the engine offers
+// context-aware variants (DoCtx/ReadCtx/WriteCtx) that honor deadlines
+// and cancellation and shed load with ErrOverloaded when a shard queue
+// is saturated instead of blocking.
 type Engine = shard.Engine
 
 // Op is one read or write in an Engine batch.
@@ -91,8 +96,18 @@ type Op = shard.Op
 // Result is the per-op outcome of an Engine batch.
 type Result = shard.Result
 
-// EngineSnapshot is an Engine's merged stats view (totals + per shard).
+// EngineSnapshot is an Engine's merged stats view (totals + per shard +
+// degradation counters).
 type EngineSnapshot = shard.Snapshot
+
+// RobustStats are an Engine's degradation counters: load sheds, context
+// cancellations, and injected faults.
+type RobustStats = shard.RobustStats
+
+// FaultPlan configures seeded, deterministic fault injection on an
+// Engine's shard pipelines (per-op delay/error probabilities, per-batch
+// partial failure). The zero value disables injection. See WithFaultPlan.
+type FaultPlan = shard.FaultPlan
 
 // Typed sentinel errors; every error the package returns wraps one of
 // these (match with errors.Is).
@@ -105,6 +120,13 @@ var (
 	ErrNeverWritten = core.ErrNeverWritten
 	// ErrClosed reports an operation on an Engine after Close.
 	ErrClosed = shard.ErrClosed
+	// ErrOverloaded reports an op shed by an Engine's admission control:
+	// the owning shard's queue was full, the op never ran. Back off and
+	// retry (attache/client does this automatically).
+	ErrOverloaded = core.ErrOverloaded
+	// ErrFaultInjected reports an op failed by an active FaultPlan rather
+	// than by the memory itself.
+	ErrFaultInjected = shard.ErrFaultInjected
 )
 
 // DefaultOptions returns the paper's configuration: a 15-bit CID and the
@@ -121,6 +143,7 @@ type settings struct {
 	shards     int
 	queueDepth int
 	maxLines   uint64
+	faults     FaultPlan
 }
 
 // Option customizes a constructor. Options compose left to right; later
@@ -182,6 +205,13 @@ func WithMaxLines(n uint64) Option {
 	return func(s *settings) { s.maxLines = n }
 }
 
+// WithFaultPlan enables seeded fault injection on an Engine's shard
+// pipelines — the chaos-testing hook. Off by default (and zero-cost when
+// off). Ignored by NewMemoryWith.
+func WithFaultPlan(p FaultPlan) Option {
+	return func(s *settings) { s.faults = p }
+}
+
 func apply(opts []Option) settings {
 	s := settings{opts: core.DefaultOptions()}
 	for _, o := range opts {
@@ -212,5 +242,6 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		Shards:     s.shards,
 		QueueDepth: s.queueDepth,
 		MaxLines:   s.maxLines,
+		Faults:     s.faults,
 	})
 }

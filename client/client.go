@@ -1,0 +1,378 @@
+// Package client is the Go client for the attached daemon: line
+// reads/writes and batches over HTTP with automatic retry, exponential
+// backoff with full jitter, and a deadline budget.
+//
+// Retry policy: transport errors and 429/502/503/504 responses are
+// retried up to MaxRetries times. A 429's Retry-After hint becomes the
+// floor of the next backoff sleep. Every sleep is checked against the
+// context deadline first — the client gives up early (returning the last
+// error) rather than sleeping past the budget. Batch responses are 200
+// with per-op outcomes; per-op failures inside a batch are returned to
+// the caller unretried, since the neighbouring ops already landed.
+//
+// Errors carry the daemon's taxonomy: errors.Is works against
+// attache.ErrOverloaded, attache.ErrNeverWritten, attache.ErrClosed,
+// attache.ErrBadLineSize, attache.ErrOutOfRange, and the context
+// sentinels, whether the failure was a whole response (StatusError) or
+// one op inside a batch.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"attache"
+)
+
+// Client talks to one attached daemon. It is safe for concurrent use.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	budget      time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying *http.Client (timeouts, transport).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithMaxRetries caps retry attempts after the first try (default 4).
+func WithMaxRetries(n int) Option {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithBackoff sets the exponential-backoff window: sleeps are drawn
+// uniformly from (0, min(max, base<<attempt)] — "full jitter". Defaults
+// are 50ms base, 2s max.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
+}
+
+// WithDeadlineBudget bounds each call that arrives without its own
+// context deadline: the call (including all retries and sleeps) gets at
+// most d. 0 (the default) means no implicit bound.
+func WithDeadlineBudget(d time.Duration) Option {
+	return func(c *Client) { c.budget = d }
+}
+
+// WithJitterSeed makes the backoff jitter deterministic — for tests.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a client for the daemon at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          &http.Client{},
+		maxRetries:  4,
+		baseBackoff: 50 * time.Millisecond,
+		maxBackoff:  2 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// StatusError is a non-retryable (or retry-exhausted) HTTP failure.
+// errors.Is resolves it to the matching attache sentinel via Unwrap.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.Code, e.Message)
+}
+
+func (e *StatusError) Unwrap() error {
+	switch e.Code {
+	case http.StatusNotFound:
+		return attache.ErrNeverWritten
+	case http.StatusTooManyRequests:
+		return attache.ErrOverloaded
+	case http.StatusServiceUnavailable:
+		return attache.ErrClosed
+	case http.StatusGatewayTimeout:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff draws the attempt'th full-jitter sleep, floored at the
+// server's Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	window := c.baseBackoff << attempt
+	if window > c.maxBackoff || window <= 0 {
+		window = c.maxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(window))) + 1
+	c.mu.Unlock()
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// roundTrip POSTs (or GETs, for empty body) path with retries and
+// returns the final response status and body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	if c.budget > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.budget)
+			defer cancel()
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, fmt.Errorf("client: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+
+		var retryAfter time.Duration
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, budgetErr(ctx.Err(), attempt, lastErr)
+			}
+			lastErr = err
+		} else {
+			respBody, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+			} else if !retryable(resp.StatusCode) {
+				return resp.StatusCode, respBody, nil
+			} else {
+				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+				lastErr = &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(respBody))}
+			}
+		}
+
+		if attempt >= c.maxRetries {
+			return 0, nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		sleep := c.backoff(attempt, retryAfter)
+		if deadline, ok := ctx.Deadline(); ok && time.Now().Add(sleep).After(deadline) {
+			return 0, nil, budgetErr(context.DeadlineExceeded, attempt, lastErr)
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return 0, nil, budgetErr(ctx.Err(), attempt, lastErr)
+		}
+	}
+}
+
+// budgetErr reports an exhausted deadline budget, keeping both the
+// context sentinel and the last server error visible to errors.Is.
+func budgetErr(ctxErr error, attempts int, lastErr error) error {
+	if lastErr == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("client: deadline budget exhausted after %d attempts (%w): last error: %w", attempts+1, ctxErr, lastErr)
+}
+
+// statusToErr turns a terminal non-2xx response into an error.
+func statusToErr(code int, body []byte) error {
+	var er struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	return &StatusError{Code: code, Message: msg}
+}
+
+type lineBody struct {
+	Addr uint64 `json:"addr"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// Read fetches the 64-byte line at addr.
+func (c *Client) Read(ctx context.Context, addr uint64) ([]byte, error) {
+	body, err := json.Marshal(lineBody{Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	code, respBody, err := c.roundTrip(ctx, http.MethodPost, "/v1/read", body)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, statusToErr(code, respBody)
+	}
+	var resp lineBody
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return nil, fmt.Errorf("client: bad read response: %w", err)
+	}
+	return resp.Data, nil
+}
+
+// Write stores the 64-byte line data at addr.
+func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
+	body, err := json.Marshal(lineBody{Addr: addr, Data: data})
+	if err != nil {
+		return err
+	}
+	code, respBody, err := c.roundTrip(ctx, http.MethodPost, "/v1/write", body)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return statusToErr(code, respBody)
+	}
+	return nil
+}
+
+type batchOp struct {
+	Op   string `json:"op"`
+	Addr uint64 `json:"addr"`
+	Data []byte `json:"data,omitempty"`
+}
+
+type batchResult struct {
+	Addr  uint64 `json:"addr"`
+	Data  []byte `json:"data,omitempty"`
+	OK    bool   `json:"ok,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Do submits a batch of ops with the daemon's per-op failure isolation:
+// the returned slice matches ops in order, and each Result carries its
+// own error (resolved to attache sentinels where possible).
+func (c *Client) Do(ctx context.Context, ops []attache.Op) ([]attache.Result, error) {
+	reqOps := make([]batchOp, len(ops))
+	for i, op := range ops {
+		reqOps[i] = batchOp{Op: "read", Addr: op.Addr}
+		if op.Write {
+			reqOps[i].Op, reqOps[i].Data = "write", op.Data
+		}
+	}
+	body, err := json.Marshal(reqOps)
+	if err != nil {
+		return nil, err
+	}
+	code, respBody, err := c.roundTrip(ctx, http.MethodPost, "/v1/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, statusToErr(code, respBody)
+	}
+	var resp struct {
+		Results []batchResult `json:"results"`
+	}
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return nil, fmt.Errorf("client: bad batch response: %w", err)
+	}
+	if len(resp.Results) != len(ops) {
+		return nil, fmt.Errorf("client: batch answered %d results for %d ops", len(resp.Results), len(ops))
+	}
+	out := make([]attache.Result, len(ops))
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			out[i].Err = opErr(r.Error)
+			continue
+		}
+		out[i].Data = r.Data
+	}
+	return out, nil
+}
+
+// opErr maps a per-op error message from the daemon back onto the typed
+// sentinels, so batch callers can errors.Is without parsing strings.
+func opErr(msg string) error {
+	for _, m := range []struct {
+		needle   string
+		sentinel error
+	}{
+		{"overloaded", attache.ErrOverloaded},
+		{"never written", attache.ErrNeverWritten},
+		{"64 bytes", attache.ErrBadLineSize},
+		{"out of range", attache.ErrOutOfRange},
+		{"injected fault", attache.ErrFaultInjected},
+		{"engine closed", attache.ErrClosed},
+		{"context deadline exceeded", context.DeadlineExceeded},
+		{"context canceled", context.Canceled},
+	} {
+		if strings.Contains(msg, m.needle) {
+			return fmt.Errorf("%s: %w", msg, m.sentinel)
+		}
+	}
+	return errors.New(msg)
+}
+
+// Stats fetches the engine's merged snapshot.
+func (c *Client) Stats(ctx context.Context) (attache.EngineSnapshot, error) {
+	var snap attache.EngineSnapshot
+	code, respBody, err := c.roundTrip(ctx, http.MethodGet, "/v1/stats", nil)
+	if err != nil {
+		return snap, err
+	}
+	if code != http.StatusOK {
+		return snap, statusToErr(code, respBody)
+	}
+	if err := json.Unmarshal(respBody, &snap); err != nil {
+		return snap, fmt.Errorf("client: bad stats response: %w", err)
+	}
+	return snap, nil
+}
+
+// Health probes /healthz; nil means the daemon is live and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	code, respBody, err := c.roundTrip(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return statusToErr(code, respBody)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"attache"
+	"attache/internal/core"
+	"attache/internal/serve"
+	"attache/internal/shard"
+)
+
+func testLine(fill byte) []byte {
+	line := make([]byte, attache.LineSize)
+	for i := range line {
+		line[i] = fill
+	}
+	return line
+}
+
+// fastOpts are test backoffs so retries resolve in milliseconds.
+func fastOpts(extra ...Option) []Option {
+	opts := []Option{WithBackoff(time.Millisecond, 4*time.Millisecond), WithJitterSeed(1)}
+	return append(opts, extra...)
+}
+
+// newDaemon spins a real engine + serve handler behind httptest.
+func newDaemon(t *testing.T, cfg shard.Config) (*httptest.Server, *shard.Engine) {
+	t.Helper()
+	eng, err := shard.New(core.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(serve.New(eng, serve.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// TestRoundTripAgainstRealDaemon covers the happy paths end to end:
+// write, read, batch with per-op sentinel mapping, stats, health.
+func TestRoundTripAgainstRealDaemon(t *testing.T) {
+	ts, _ := newDaemon(t, shard.Config{Shards: 2})
+	c := New(ts.URL, fastOpts()...)
+	ctx := context.Background()
+
+	if err := c.Write(ctx, 42, testLine(7)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := c.Read(ctx, 42)
+	if err != nil || !bytes.Equal(got, testLine(7)) {
+		t.Fatalf("read back: %v", err)
+	}
+	if _, err := c.Read(ctx, 999); !errors.Is(err, attache.ErrNeverWritten) {
+		t.Fatalf("read missing err = %v, want ErrNeverWritten", err)
+	}
+
+	res, err := c.Do(ctx, []attache.Op{
+		{Write: true, Addr: 1, Data: testLine(1)},
+		{Addr: 1},
+		{Addr: 777}, // never written
+		{Write: true, Addr: 2, Data: []byte("short")}, // bad size
+	})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if res[0].Err != nil || res[1].Err != nil || !bytes.Equal(res[1].Data, testLine(1)) {
+		t.Fatalf("batch ops 0/1: %v %v", res[0].Err, res[1].Err)
+	}
+	if !errors.Is(res[2].Err, attache.ErrNeverWritten) {
+		t.Fatalf("batch op2 err = %v, want ErrNeverWritten", res[2].Err)
+	}
+	if !errors.Is(res[3].Err, attache.ErrBadLineSize) {
+		t.Fatalf("batch op3 err = %v, want ErrBadLineSize", res[3].Err)
+	}
+
+	snap, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if snap.Total.Writes != 2 || snap.Total.Reads != 2 {
+		t.Fatalf("stats snapshot off: %+v", snap.Total)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+}
+
+// TestRetriesOverloadedThenSucceeds pins the retry loop: two 429s (with
+// Retry-After) and then success, all inside one client call.
+func TestRetriesOverloadedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"overloaded"}`)
+			return
+		}
+		fmt.Fprintf(w, `{"addr":5,"ok":true}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts()...)
+	if err := c.Write(context.Background(), 5, testLine(1)); err != nil {
+		t.Fatalf("write should have survived two 429s: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 retries)", calls.Load())
+	}
+}
+
+// TestRetriesExhausted pins the give-up path and sentinel mapping: a
+// server that always sheds yields ErrOverloaded after MaxRetries+1 tries.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts(WithMaxRetries(2))...)
+	err := c.Write(context.Background(), 1, testLine(1))
+	if !errors.Is(err, attache.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestDeadlineBudget pins that retries respect the budget: against a
+// permanently overloaded server, the call returns once the budget is
+// spent — well before the retries alone would finish — and the error
+// carries both the deadline and the last server failure.
+func TestDeadlineBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1") // would force 1s sleeps
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts(WithMaxRetries(10), WithDeadlineBudget(50*time.Millisecond))...)
+	start := time.Now()
+	err := c.Write(context.Background(), 1, testLine(1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("budgeted call against a dead server must fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+	if !errors.Is(err, attache.ErrOverloaded) {
+		t.Fatalf("err = %v, want last server error (ErrOverloaded) in chain", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("budgeted call took %v, budget was 50ms", elapsed)
+	}
+}
+
+// TestCallerDeadlineWins: an explicit context deadline is not overridden
+// by the budget and cancels in-flight waits.
+func TestCallerDeadlineWins(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hang until the test ends
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := New(ts.URL, fastOpts(WithDeadlineBudget(time.Hour))...)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Read(ctx, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestShedMapsToOverloaded drives a saturated daemon through the client
+// with retries disabled: the 429 surfaces as ErrOverloaded.
+func TestShedMapsToOverloaded(t *testing.T) {
+	ts, eng := newDaemon(t, shard.Config{
+		Shards:     1,
+		QueueDepth: 1,
+		Faults:     shard.FaultPlan{Seed: 4, DelayP: 1, Delay: 50 * time.Millisecond},
+	})
+	// Saturate: one op executing (slow), one parked in the 1-deep queue.
+	go eng.Do([]attache.Op{{Write: true, Addr: 1, Data: testLine(1)}})
+	time.Sleep(10 * time.Millisecond)
+	go eng.Do([]attache.Op{{Write: true, Addr: 2, Data: testLine(2)}})
+	time.Sleep(10 * time.Millisecond)
+
+	c := New(ts.URL, fastOpts(WithMaxRetries(0))...)
+	_, err := c.Read(context.Background(), 1)
+	if !errors.Is(err, attache.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{
+		"":    0,
+		"0":   0,
+		"2":   2 * time.Second,
+		"-1":  0,
+		"abc": 0,
+	} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		}
+	}
+}

@@ -44,6 +44,15 @@ func main() {
 		idleTimeout     = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain on SIGTERM")
 		maxBatch        = flag.Int("max-batch", 4096, "max ops per /v1/batch request")
+		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
+
+		// Chaos knobs: seeded fault injection on the shard pipelines, for
+		// resilience testing with cmd/attacheload. All off by default.
+		faultSeed     = flag.Int64("fault-seed", 1, "fault-injection seed")
+		faultErr      = flag.Float64("fault-err", 0, "per-op injected-error probability [0,1]")
+		faultDelay    = flag.Float64("fault-delay", 0, "per-op injected-delay probability [0,1]")
+		faultDelayDur = flag.Duration("fault-delay-dur", 100*time.Microsecond, "injected delay duration")
+		faultPartial  = flag.Float64("fault-partial", 0, "per-batch partial-failure probability [0,1]")
 	)
 	flag.Parse()
 
@@ -53,6 +62,13 @@ func main() {
 		attache.WithShards(*shards),
 		attache.WithQueueDepth(*queueDepth),
 		attache.WithMaxLines(*maxLines),
+		attache.WithFaultPlan(attache.FaultPlan{
+			Seed:     *faultSeed,
+			ErrP:     *faultErr,
+			DelayP:   *faultDelay,
+			Delay:    *faultDelayDur,
+			PartialP: *faultPartial,
+		}),
 	}
 	if *noPredictor {
 		opts = append(opts, attache.WithoutPredictor())
@@ -72,6 +88,7 @@ func main() {
 		IdleTimeout:     *idleTimeout,
 		ShutdownTimeout: *shutdownTimeout,
 		MaxBatchOps:     *maxBatch,
+		RetryAfter:      *retryAfter,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

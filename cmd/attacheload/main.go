@@ -1,0 +1,162 @@
+// Command attacheload is the deterministic load/chaos harness for the
+// attache engine: a seeded open-loop workload of reads, writes, and
+// batches driven either at an in-process engine (the default — measures
+// the engine itself) or at a running attached daemon over HTTP (-target).
+//
+// The same -seed always produces the same op sequence regardless of
+// -concurrency; the report prints the sequence checksum so two runs can
+// be proven to have offered identical work:
+//
+//	go run ./cmd/attacheload -seed 42 -events 5000 -concurrency 1
+//	go run ./cmd/attacheload -seed 42 -events 5000 -concurrency 16
+//	# both print plan checksum 0f0b23...
+//
+// Chaos mode turns on the engine's seeded fault injection:
+//
+//	go run ./cmd/attacheload -seed 42 -fault-err 0.05 -fault-delay 0.05
+//
+// The report covers throughput, per-kind latency quantiles, shed rate,
+// and the full error taxonomy; -json emits it as one JSON object.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"syscall"
+	"time"
+
+	"attache"
+	"attache/client"
+	"attache/internal/loadgen"
+	"attache/internal/shard"
+)
+
+// clientTarget adapts the HTTP client to loadgen.Target for -target mode.
+type clientTarget struct{ c *client.Client }
+
+func (t clientTarget) DoCtx(ctx context.Context, ops []shard.Op) ([]shard.Result, error) {
+	return t.c.Do(ctx, ops)
+}
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 42, "workload seed (same seed, same op sequence)")
+		events      = flag.Int("events", 5000, "events to offer (a batch counts as one event)")
+		concurrency = flag.Int("concurrency", runtime.GOMAXPROCS(0), "worker goroutines (does not change the op sequence)")
+		space       = flag.Uint64("space", 1<<16, "line address space")
+		readW       = flag.Int("read-weight", 3, "relative weight of read events")
+		writeW      = flag.Int("write-weight", 1, "relative weight of write events")
+		batchW      = flag.Int("batch-weight", 1, "relative weight of batch events")
+		batchSize   = flag.Int("batch-size", 16, "ops per batch event")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate, events/sec (0 = unpaced)")
+		opTimeout   = flag.Duration("op-timeout", 0, "per-event deadline (0 = none)")
+		prefill     = flag.Int("prefill", 0, "lines to prefill (0 = space/2, -1 = none)")
+		target      = flag.String("target", "", "drive a running attached daemon at this base URL instead of an in-process engine")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+
+		// In-process engine shape (ignored with -target).
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shard count")
+		queueDepth = flag.Int("queue-depth", 64, "per-shard queue depth")
+
+		// Chaos knobs (in-process only; ignored with -target).
+		faultSeed     = flag.Int64("fault-seed", 1, "fault-injection seed")
+		faultErr      = flag.Float64("fault-err", 0, "per-op injected-error probability [0,1]")
+		faultDelay    = flag.Float64("fault-delay", 0, "per-op injected-delay probability [0,1]")
+		faultDelayDur = flag.Duration("fault-delay-dur", 100*time.Microsecond, "injected delay duration")
+		faultPartial  = flag.Float64("fault-partial", 0, "per-batch partial-failure probability [0,1]")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Seed:        *seed,
+		Events:      *events,
+		Concurrency: *concurrency,
+		AddrSpace:   *space,
+		ReadWeight:  *readW,
+		WriteWeight: *writeW,
+		BatchWeight: *batchW,
+		BatchSize:   *batchSize,
+		Rate:        *rate,
+		OpTimeout:   *opTimeout,
+		Prefill:     *prefill,
+	}
+
+	var tgt loadgen.Target
+	if *target != "" {
+		tgt = clientTarget{c: client.New(*target, client.WithMaxRetries(0))}
+	} else {
+		eng, err := attache.NewEngine(
+			attache.WithShards(*shards),
+			attache.WithQueueDepth(*queueDepth),
+			attache.WithFaultPlan(attache.FaultPlan{
+				Seed:     *faultSeed,
+				ErrP:     *faultErr,
+				DelayP:   *faultDelay,
+				Delay:    *faultDelayDur,
+				PartialP: *faultPartial,
+			}),
+		)
+		if err != nil {
+			log.Fatalf("attacheload: %v", err)
+		}
+		defer eng.Close()
+		tgt = eng
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, tgt, cfg)
+	if err != nil {
+		log.Fatalf("attacheload: %v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatalf("attacheload: %v", err)
+		}
+		return
+	}
+	printReport(rep)
+}
+
+func printReport(rep loadgen.Report) {
+	fmt.Printf("plan checksum  %s\n", rep.Checksum)
+	fmt.Printf("events         %d\n", rep.Events)
+	fmt.Printf("ops            %d offered, %d ok\n", rep.Ops, rep.OpsOK)
+	fmt.Printf("duration       %v\n", rep.Duration.Round(time.Millisecond))
+	fmt.Printf("throughput     %.0f ops/sec\n", rep.Throughput)
+	fmt.Printf("shed rate      %.4f\n", rep.ShedRate)
+
+	kinds := make([]string, 0, len(rep.Latency))
+	for k := range rep.Latency {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		q := rep.Latency[k]
+		fmt.Printf("latency %-6s p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  max %8.1fµs  (n=%d)\n",
+			k, q.P50Micros, q.P90Micros, q.P99Micros, q.MaxMicros, q.Count)
+	}
+
+	labels := make([]string, 0, len(rep.Errors))
+	for l := range rep.Errors {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Printf("errors %-12s %d\n", l, rep.Errors[l])
+	}
+	if len(labels) == 0 {
+		fmt.Println("errors         none")
+	}
+}

@@ -19,4 +19,10 @@ var (
 	// written. A real controller would return whatever junk DRAM holds,
 	// which no software relies on, so the functional memory rejects it.
 	ErrNeverWritten = errors.New("attache: line was never written")
+
+	// ErrOverloaded reports an op shed by admission control: the owning
+	// shard's queue was full when the op arrived. The op was never
+	// enqueued, so it had no effect; callers should back off and retry
+	// (the HTTP layer maps it to 429 with Retry-After).
+	ErrOverloaded = errors.New("attache: overloaded")
 )

@@ -1,0 +1,200 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"attache/internal/core"
+	"attache/internal/shard"
+)
+
+func newEngine(t *testing.T, cfg shard.Config) *shard.Engine {
+	t.Helper()
+	eng, err := shard.New(core.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestPlanDeterministic: same seed, same plan — byte for byte.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Events: 500}
+	a, b := Plan(cfg), Plan(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two plans from the same config differ")
+	}
+	if Checksum(a) != Checksum(b) {
+		t.Fatal("checksums differ for identical plans")
+	}
+	cfg.Seed = 43
+	if Checksum(Plan(cfg)) == Checksum(a) {
+		t.Fatal("different seeds produced the same checksum")
+	}
+}
+
+// TestChecksumIndependentOfConcurrency is the acceptance criterion: the
+// op sequence (fingerprinted by its checksum) is identical whether the
+// run executes with 1 worker or 16.
+func TestChecksumIndependentOfConcurrency(t *testing.T) {
+	base := Config{Seed: 42, Events: 300, AddrSpace: 1 << 10}
+	var sums []string
+	for _, conc := range []int{1, 16} {
+		cfg := base
+		cfg.Concurrency = conc
+		eng := newEngine(t, shard.Config{Shards: 2})
+		rep, err := Run(context.Background(), eng, cfg)
+		if err != nil {
+			t.Fatalf("run conc=%d: %v", conc, err)
+		}
+		if rep.Ops == 0 || rep.OpsOK == 0 {
+			t.Fatalf("run conc=%d did no work: %+v", conc, rep)
+		}
+		sums = append(sums, rep.Checksum)
+	}
+	if sums[0] != sums[1] {
+		t.Fatalf("checksum differs across concurrency: %s vs %s", sums[0], sums[1])
+	}
+}
+
+// TestRunReportShape: a clean run over a prefilled space completes every
+// op, reports sane quantiles, and an empty taxonomy apart from
+// never_written misses on un-prefilled addresses.
+func TestRunReportShape(t *testing.T) {
+	cfg := Config{Seed: 7, Events: 400, Concurrency: 4, AddrSpace: 256, Prefill: 256}
+	eng := newEngine(t, shard.Config{Shards: 2})
+	rep, err := Run(context.Background(), eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 400 {
+		t.Fatalf("events = %d, want 400", rep.Events)
+	}
+	// Full prefill of the address space: every read hits, every op lands.
+	if rep.OpsOK != rep.Ops {
+		t.Fatalf("ops_ok %d != ops %d (errors: %v)", rep.OpsOK, rep.Ops, rep.Errors)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+	var sampleTotal uint64
+	for kind, q := range rep.Latency {
+		if q.Count == 0 || q.Max < q.P50 {
+			t.Fatalf("degenerate quantiles for %s: %+v", kind, q)
+		}
+		sampleTotal += q.Count
+	}
+	if sampleTotal != uint64(rep.Events) {
+		t.Fatalf("latency samples %d != events %d", sampleTotal, rep.Events)
+	}
+}
+
+// TestRunTaxonomyUnderFaults: with fault injection on, the report's
+// error taxonomy picks up fault_injected (and nothing lands in "other").
+func TestRunTaxonomyUnderFaults(t *testing.T) {
+	cfg := Config{Seed: 11, Events: 300, Concurrency: 4, AddrSpace: 128, Prefill: 128}
+	eng := newEngine(t, shard.Config{
+		Shards: 2,
+		Faults: shard.FaultPlan{Seed: 11, ErrP: 0.2},
+	})
+	rep, err := Run(context.Background(), eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors["fault_injected"] == 0 {
+		t.Fatalf("expected injected faults in taxonomy, got %v", rep.Errors)
+	}
+	if rep.Errors["other"] != 0 {
+		t.Fatalf("unclassified errors leaked into 'other': %v", rep.Errors)
+	}
+	if rep.OpsOK+sum(rep.Errors) != rep.Ops {
+		t.Fatalf("taxonomy does not conserve: ok %d + errs %d != ops %d",
+			rep.OpsOK, sum(rep.Errors), rep.Ops)
+	}
+}
+
+// TestRunShedRate: a tiny queue plus slow ops plus many workers must
+// shed, and the shed rate must reconcile with the taxonomy.
+func TestRunShedRate(t *testing.T) {
+	cfg := Config{
+		Seed: 3, Events: 200, Concurrency: 8, AddrSpace: 64,
+		Prefill: -1, WriteWeight: 1, ReadWeight: 0, BatchWeight: 0,
+	}
+	eng := newEngine(t, shard.Config{
+		Shards:     1,
+		QueueDepth: 1,
+		Faults:     shard.FaultPlan{Seed: 3, DelayP: 1, Delay: 2 * time.Millisecond},
+	})
+	rep, err := Run(context.Background(), eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors["overloaded"] == 0 {
+		t.Fatalf("expected sheds, taxonomy: %v", rep.Errors)
+	}
+	want := float64(rep.Errors["overloaded"]) / float64(rep.Ops)
+	if rep.ShedRate != want {
+		t.Fatalf("shed rate %v, want %v", rep.ShedRate, want)
+	}
+}
+
+// TestRunHonorsContext: cancelling the run context stops the workers
+// promptly instead of draining all events.
+func TestRunHonorsContext(t *testing.T) {
+	cfg := Config{Seed: 5, Events: 100000, Concurrency: 2, Prefill: -1}
+	eng := newEngine(t, shard.Config{
+		Shards: 1,
+		Faults: shard.FaultPlan{Seed: 5, DelayP: 1, Delay: time.Millisecond},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	rep, err := Run(ctx, eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 100000 {
+		t.Fatalf("plan size changed: %d", rep.Events)
+	}
+	if rep.Ops >= 100000 {
+		t.Fatal("cancelled run still executed every event")
+	}
+}
+
+// TestClassify pins the taxonomy labels, including wrapped chains and
+// string-flattened errors (as the HTTP client produces).
+func TestClassify(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{core.ErrOverloaded, "overloaded"},
+		{fmt.Errorf("shard 3 queue full: %w", core.ErrOverloaded), "overloaded"},
+		{errors.New("attache: overloaded (flattened)"), "overloaded"},
+		{context.DeadlineExceeded, "deadline"},
+		{context.Canceled, "canceled"},
+		{shard.ErrFaultInjected, "fault_injected"},
+		{shard.ErrClosed, "closed"},
+		{core.ErrNeverWritten, "never_written"},
+		{core.ErrBadLineSize, "bad_line_size"},
+		{core.ErrOutOfRange, "out_of_range"},
+		{errors.New("mystery"), "other"},
+	} {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+func sum(m map[string]uint64) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -96,6 +96,10 @@ func (s *Server) renderMetrics() string {
 	counter("attached_blocks_written_total", "32-byte sub-rank blocks written.", t.BlocksWritten)
 	counter("attached_mispredictions_total", "COPR mispredictions (corrective fetches).", t.Mispredictions)
 	counter("attached_ra_accesses_total", "Replacement Area reads+writes (CID collisions).", t.RAAccesses)
+	counter("attached_shed_ops_total", "Ops rejected with ErrOverloaded at shard-queue admission.", snap.Robust.Sheds)
+	counter("attached_canceled_ops_total", "Ops skipped because their context expired in the queue.", snap.Robust.Canceled)
+	counter("attached_injected_errors_total", "Fault-injection errors (0 unless a fault plan is active).", snap.Robust.InjectedErrors)
+	counter("attached_injected_delays_total", "Fault-injection delays (0 unless a fault plan is active).", snap.Robust.InjectedDelays)
 	gauge("attached_lines", "Distinct lines currently stored.", float64(t.Lines))
 	gauge("attached_compressed_lines", "Lines currently stored compressed.", float64(t.CompressedLines))
 	gauge("attached_compressed_line_ratio", "Fraction of stored lines compressed.", t.CompressedLineRatio())

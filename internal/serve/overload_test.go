@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"attache/internal/core"
+	"attache/internal/shard"
+)
+
+// TestOverloadShedsWhileHealthzStaysGreen pins the acceptance criterion
+// for graceful degradation: with a 1-deep queue and a saturating load,
+// the daemon answers 429 (with a Retry-After hint) instead of stalling,
+// /healthz stays green the whole time, and shutdown still drains
+// cleanly afterwards.
+func TestOverloadShedsWhileHealthzStaysGreen(t *testing.T) {
+	eng, err := shard.New(core.DefaultOptions(), shard.Config{
+		Shards:     1,
+		QueueDepth: 1,
+		// Slow the single worker down so the queue is full almost always.
+		Faults: shard.FaultPlan{Seed: 2, DelayP: 1, Delay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{Addr: "127.0.0.1:0", ShutdownTimeout: 10 * time.Second})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx) }()
+	select {
+	case <-srv.Ready():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + srv.Addr()
+
+	var ok200, shed429, retryAfterMissing atomic.Uint64
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	const clients = 16
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				body := fmt.Sprintf(`{"addr":%d,"data":%q}`, c*1000+i, b64(testLine(byte(c))))
+				resp, err := http.Post(base+"/v1/write", "application/json", strings.NewReader(body))
+				if err != nil {
+					errc <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						retryAfterMissing.Add(1)
+					}
+				default:
+					errc <- fmt.Errorf("client %d: unexpected status %d", c, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Liveness probes race the overload: every one must be green.
+	probeStop := make(chan struct{})
+	probeDone := make(chan error, 1)
+	go func() {
+		defer close(probeDone)
+		for {
+			select {
+			case <-probeStop:
+				return
+			default:
+			}
+			resp, err := http.Get(base + "/healthz")
+			if err != nil {
+				probeDone <- fmt.Errorf("healthz during overload: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				probeDone <- fmt.Errorf("healthz went %d under overload", resp.StatusCode)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(probeStop)
+	if err, ok := <-probeDone; ok && err != nil {
+		t.Fatal(err)
+	}
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if shed429.Load() == 0 {
+		t.Fatalf("saturating a 1-deep queue produced no 429s (200s: %d)", ok200.Load())
+	}
+	if retryAfterMissing.Load() != 0 {
+		t.Fatalf("%d of %d 429 responses lacked Retry-After", retryAfterMissing.Load(), shed429.Load())
+	}
+	if snap := eng.StatsSnapshot(); snap.Robust.Sheds == 0 {
+		t.Fatalf("engine shed counter did not move: %+v", snap.Robust)
+	}
+
+	// The daemon must still drain cleanly after all that shedding.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain after overload: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain never finished after overload")
+	}
+}

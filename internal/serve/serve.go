@@ -9,9 +9,15 @@
 //	GET  /metrics    Prometheus text exposition
 //
 // Failures map to status codes by sentinel: ErrNeverWritten -> 404,
-// ErrBadLineSize / ErrOutOfRange -> 400, ErrClosed -> 503. Batch requests
-// isolate failures per op and always answer 200 with per-op errors
-// inline ("partial failure" semantics).
+// ErrBadLineSize / ErrOutOfRange -> 400, ErrOverloaded -> 429 (with a
+// Retry-After hint), context.DeadlineExceeded -> 504, ErrClosed -> 503.
+// Batch requests isolate failures per op and always answer 200 with
+// per-op errors inline ("partial failure" semantics).
+//
+// Every handler submits through the engine's context-aware ops with the
+// request's context, so a client disconnect or deadline cancels queued
+// work, and a saturated shard queue sheds the request instead of
+// stalling the daemon — /healthz stays green under overload.
 package serve
 
 import (
@@ -23,6 +29,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -48,11 +55,17 @@ type Config struct {
 	MaxBatchOps int
 	// MaxBodyBytes caps a request body. 0 defaults to 8 MiB.
 	MaxBodyBytes int64
+	// RetryAfter is the backoff hint sent with 429 responses when the
+	// engine sheds load. 0 defaults to 1s.
+	RetryAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.ShutdownTimeout == 0 {
 		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
 	}
 	if c.MaxBatchOps == 0 {
 		c.MaxBatchOps = 4096
@@ -230,6 +243,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// statusClientClosedRequest is nginx's conventional code for a request
+// whose client went away before the response: there is no standard
+// status, but the metrics layer needs the taxonomy.
+const statusClientClosedRequest = 499
+
 // statusFor maps engine errors to HTTP statuses via the typed sentinels.
 func statusFor(err error) int {
 	switch {
@@ -237,6 +255,12 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrBadLineSize), errors.Is(err, core.ErrOutOfRange):
 		return http.StatusBadRequest
+	case errors.Is(err, core.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	case errors.Is(err, shard.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
@@ -245,7 +269,12 @@ func statusFor(err error) int {
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errResp{Error: err.Error()})
+	code := statusFor(err)
+	if code == http.StatusTooManyRequests {
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, code, errResp{Error: err.Error()})
 }
 
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -268,7 +297,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "missing addr"})
 		return
 	}
-	data, err := s.eng.Read(*req.Addr)
+	data, err := s.eng.ReadCtx(r.Context(), *req.Addr)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -285,7 +314,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "missing addr"})
 		return
 	}
-	if err := s.eng.Write(*req.Addr, req.Data); err != nil {
+	if err := s.eng.WriteCtx(r.Context(), *req.Addr, req.Data); err != nil {
 		s.writeErr(w, err)
 		return
 	}
@@ -371,7 +400,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i].Error = fmt.Sprintf("unknown op %q (want read or write)", op.Op)
 		}
 	}
-	res, err := s.eng.Do(ops)
+	res, err := s.eng.DoCtx(r.Context(), ops)
 	if err != nil {
 		s.writeErr(w, err)
 		return

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrFaultInjected reports an op failed by the fault-injection hook, not
+// by the memory itself. Injection happens before the op executes, so a
+// fault-failed write never lands and a fault-failed read never trains
+// the predictor — engine state stays consistent with what callers were
+// told.
+var ErrFaultInjected = errors.New("shard: injected fault")
+
+// FaultPlan configures deterministic fault injection on the per-shard
+// pipeline. The zero value disables injection entirely and costs one nil
+// check per task on the hot path.
+//
+// Each shard draws from its own rand.Rand seeded from Seed and the shard
+// index, so a given op order per shard reproduces the same faults on
+// every run — chaos tests replay exactly.
+type FaultPlan struct {
+	// Seed feeds the per-shard RNGs; shard i uses Seed mixed with i.
+	Seed int64
+	// ErrP is the per-op probability of failing with ErrFaultInjected
+	// instead of executing.
+	ErrP float64
+	// DelayP is the per-op probability of sleeping Delay before the op
+	// executes (the op itself still runs).
+	DelayP float64
+	// Delay is the injected stall; 0 defaults to 100µs when DelayP > 0.
+	Delay time.Duration
+	// PartialP is the per-task probability that the tail of the task's
+	// op slice (from a random cut point) fails with ErrFaultInjected —
+	// modeling a batch that dies partway through.
+	PartialP float64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p FaultPlan) Enabled() bool {
+	return p.ErrP > 0 || p.DelayP > 0 || p.PartialP > 0
+}
+
+func (p FaultPlan) validate() error {
+	for _, pr := range []float64{p.ErrP, p.DelayP, p.PartialP} {
+		if pr < 0 || pr > 1 {
+			return fmt.Errorf("shard: fault probability %v not in [0,1]: %w", pr, errBadProb)
+		}
+	}
+	return nil
+}
+
+var errBadProb = errors.New("bad probability")
+
+// injector is one shard's fault source: plan plus private RNG. A nil
+// *injector means injection is off.
+type injector struct {
+	plan  FaultPlan
+	delay time.Duration
+	rng   *rand.Rand
+}
+
+func newInjector(p FaultPlan, shardIdx int) *injector {
+	if !p.Enabled() {
+		return nil
+	}
+	d := p.Delay
+	if d == 0 {
+		d = 100 * time.Microsecond
+	}
+	seed := p.Seed ^ int64(uint64(shardIdx+1)*0xBF58476D1CE4E5B9)
+	return &injector{plan: p, delay: d, rng: rand.New(rand.NewSource(seed))}
+}
+
+// cut returns the index past which a task's ops should fail wholesale,
+// or n when the task is spared.
+func (in *injector) cut(n int) int {
+	if in.plan.PartialP > 0 && in.rng.Float64() < in.plan.PartialP {
+		return in.rng.Intn(n)
+	}
+	return n
+}
+
+// op decides one op's fate: an optional injected stall, then an optional
+// injected error. It reports (delayed, err).
+func (in *injector) op() (bool, error) {
+	delayed := false
+	if in.plan.DelayP > 0 && in.rng.Float64() < in.plan.DelayP {
+		time.Sleep(in.delay)
+		delayed = true
+	}
+	if in.plan.ErrP > 0 && in.rng.Float64() < in.plan.ErrP {
+		return delayed, ErrFaultInjected
+	}
+	return delayed, nil
+}

@@ -27,10 +27,12 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"attache/internal/core"
 )
@@ -44,12 +46,16 @@ type Config struct {
 	// 0 defaults to GOMAXPROCS.
 	Shards int
 	// QueueDepth is the per-shard pipeline buffer: how many submitted
-	// tasks a shard can hold before submitters block (backpressure).
-	// 0 defaults to 64.
+	// tasks a shard can hold before backpressure kicks in. Do blocks on a
+	// full queue; DoCtx sheds instead, failing the shard's ops with
+	// core.ErrOverloaded. 0 defaults to 64.
 	QueueDepth int
 	// MaxLines, when non-zero, bounds the line address space: ops at
 	// addresses >= MaxLines fail with core.ErrOutOfRange.
 	MaxLines uint64
+	// Faults, when enabled, injects seeded delays/errors/partial-batch
+	// failures into every shard's pipeline. Off (zero) by default.
+	Faults FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -84,8 +90,11 @@ type Result struct {
 
 // task is one shard's slice of a submitted batch, or (when snap is
 // non-nil) a stats-snapshot marker flowing through the same pipeline so
-// it serializes against in-flight ops.
+// it serializes against in-flight ops. ctx is non-nil only for DoCtx
+// submissions; the worker checks it once per task so a cancelled task
+// frees its queue slot without executing.
 type task struct {
+	ctx  context.Context
 	ops  []Op
 	idx  []int // positions of ops in the caller's batch / result slice
 	res  []Result
@@ -93,10 +102,37 @@ type task struct {
 	done *sync.WaitGroup
 }
 
-// worker owns one shard: one Memory, one goroutine, one queue.
+// robustCounters are the engine-level degradation counters: everything
+// that happened to ops besides executing them. They sit off the happy
+// path — an op that executes normally touches none of them.
+type robustCounters struct {
+	sheds          atomic.Uint64
+	canceled       atomic.Uint64
+	injectedErrs   atomic.Uint64
+	injectedDelays atomic.Uint64
+}
+
+// RobustStats is the exported snapshot of the degradation counters.
+type RobustStats struct {
+	// Sheds counts ops rejected with ErrOverloaded because their shard's
+	// queue was full at DoCtx admission.
+	Sheds uint64 `json:"sheds"`
+	// Canceled counts ops that returned a context error: expired or
+	// cancelled while queued, skipped without executing.
+	Canceled uint64 `json:"canceled"`
+	// InjectedErrors / InjectedDelays count fault-injection outcomes
+	// (always 0 with injection off).
+	InjectedErrors uint64 `json:"injected_errors"`
+	InjectedDelays uint64 `json:"injected_delays"`
+}
+
+// worker owns one shard: one Memory, one goroutine, one queue, and (when
+// fault injection is on) one seeded injector.
 type worker struct {
-	mem  *core.Memory
-	reqs chan task
+	mem    *core.Memory
+	reqs   chan task
+	inj    *injector
+	robust *robustCounters
 }
 
 func (w *worker) run(wg *sync.WaitGroup) {
@@ -107,7 +143,40 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			t.done.Done()
 			continue
 		}
+		// A task whose context died while it sat in the queue is skipped
+		// wholesale: the slot is freed without touching the memory, and
+		// every op reports the context's error.
+		if t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				for _, j := range t.idx {
+					t.res[j].Err = err
+				}
+				w.robust.canceled.Add(uint64(len(t.idx)))
+				t.done.Done()
+				continue
+			}
+		}
+		cut := len(t.idx)
+		if w.inj != nil {
+			cut = w.inj.cut(cut)
+		}
 		for i, j := range t.idx {
+			if w.inj != nil {
+				if i >= cut {
+					t.res[j].Err = fmt.Errorf("shard: batch died at op %d of %d: %w", i, len(t.idx), ErrFaultInjected)
+					w.robust.injectedErrs.Add(1)
+					continue
+				}
+				delayed, err := w.inj.op()
+				if delayed {
+					w.robust.injectedDelays.Add(1)
+				}
+				if err != nil {
+					t.res[j].Err = fmt.Errorf("shard: op at %#x: %w", t.ops[i].Addr, err)
+					w.robust.injectedErrs.Add(1)
+					continue
+				}
+			}
 			op := t.ops[i]
 			if op.Write {
 				t.res[j].Err = w.mem.Write(op.Addr, op.Data)
@@ -125,6 +194,13 @@ type Engine struct {
 	cfg       Config
 	shards    []*worker
 	sramBytes int
+	robust    robustCounters
+
+	// stop is closed at the start of Close, before the submission lock is
+	// taken: it interrupts submitters blocked on full queues so Close
+	// never waits behind backpressure (those ops fail with ErrClosed).
+	stop    chan struct{}
+	closing atomic.Bool
 
 	mu     sync.RWMutex // guards closed vs. submissions; not on the per-shard hot path
 	closed bool
@@ -142,7 +218,10 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 	if cfg.QueueDepth < 1 {
 		return nil, fmt.Errorf("shard: queue depth %d not in [1,∞): %w", cfg.QueueDepth, core.ErrOutOfRange)
 	}
-	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards)}
+	if err := cfg.Faults.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards), stop: make(chan struct{})}
 	for i := range e.shards {
 		o := opts
 		// Shard 0 keeps the caller's seed exactly (single-shard results
@@ -154,7 +233,12 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.sramBytes += mem.Framework().StorageOverheadBytes()
-		e.shards[i] = &worker{mem: mem, reqs: make(chan task, cfg.QueueDepth)}
+		e.shards[i] = &worker{
+			mem:    mem,
+			reqs:   make(chan task, cfg.QueueDepth),
+			inj:    newInjector(cfg.Faults, i),
+			robust: &e.robust,
+		}
 		e.wg.Add(1)
 		go e.shards[i].run(&e.wg)
 	}
@@ -180,10 +264,42 @@ func (e *Engine) StorageOverheadBytes() int { return e.sramBytes }
 // returning results in submission order. Failures are isolated per op.
 // Do itself errors only when the engine is closed.
 //
+// A full shard queue applies backpressure: Do blocks until the shard
+// drains (or Close interrupts the wait, failing the unsent ops with
+// ErrClosed per op). For deadline-aware submission and load shedding use
+// DoCtx.
+//
 // Ops for the same shard are applied in batch order; ops for different
 // shards run concurrently. Two racing Do calls that touch the same
 // address are serialized by that address's shard, in channel order.
 func (e *Engine) Do(ops []Op) ([]Result, error) {
+	return e.submit(nil, ops)
+}
+
+// DoCtx is Do with deadline, cancellation, and load-shed semantics:
+//
+//   - An already-expired or cancelled ctx returns (nil, ctx.Err())
+//     immediately — nothing is enqueued, nothing executes.
+//   - Admission is non-blocking: a full shard queue sheds that shard's
+//     ops with core.ErrOverloaded per op instead of waiting. Shed ops
+//     were never enqueued and had no effect.
+//   - If ctx dies while a task is queued, the owning shard skips the
+//     task (freeing the slot without executing) and its ops report
+//     ctx.Err() per op.
+//
+// Ops that were already enqueued when ctx expires still complete if the
+// worker reaches them first; DoCtx always waits for enqueued tasks to be
+// resolved one way or the other, so results are never torn.
+func (e *Engine) DoCtx(ctx context.Context, ops []Op) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.submit(ctx, ops)
+}
+
+// submit routes ops to their shards. ctx == nil selects Do's blocking
+// backpressure; a non-nil ctx selects DoCtx's shed-on-full admission.
+func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 	res := make([]Result, len(ops))
 	if len(ops) == 0 {
 		return res, nil
@@ -205,20 +321,51 @@ func (e *Engine) Do(ops []Op) ([]Result, error) {
 		return nil, ErrClosed
 	}
 	var done sync.WaitGroup
+	closing := false
 	for s, idx := range perShard {
 		if len(idx) == 0 {
+			continue
+		}
+		if closing {
+			// Close fired mid-submission: fail the rest without blocking.
+			markAll(res, idx, fmt.Errorf("shard: shard %d: submit interrupted by Close: %w", s, ErrClosed))
 			continue
 		}
 		sub := make([]Op, len(idx))
 		for k, j := range idx {
 			sub[k] = ops[j]
 		}
+		t := task{ctx: ctx, ops: sub, idx: idx, res: res, done: &done}
 		done.Add(1)
-		e.shards[s].reqs <- task{ops: sub, idx: idx, res: res, done: &done}
+		if ctx == nil {
+			select {
+			case e.shards[s].reqs <- t:
+			case <-e.stop:
+				done.Done()
+				closing = true
+				markAll(res, idx, fmt.Errorf("shard: shard %d: submit interrupted by Close: %w", s, ErrClosed))
+			}
+		} else {
+			select {
+			case e.shards[s].reqs <- t:
+			default:
+				done.Done()
+				e.robust.sheds.Add(uint64(len(idx)))
+				markAll(res, idx, fmt.Errorf("shard: shard %d queue full (depth %d): %w",
+					s, e.cfg.QueueDepth, core.ErrOverloaded))
+			}
+		}
 	}
 	e.mu.RUnlock()
 	done.Wait()
 	return res, nil
+}
+
+// markAll fails every op at positions idx with err.
+func markAll(res []Result, idx []int, err error) {
+	for _, j := range idx {
+		res[j].Err = err
+	}
 }
 
 // Read loads the 64-byte line at addr through the pipeline.
@@ -233,6 +380,24 @@ func (e *Engine) Read(addr uint64) ([]byte, error) {
 // Write stores a 64-byte line at addr through the pipeline.
 func (e *Engine) Write(addr uint64, data []byte) error {
 	res, err := e.Do([]Op{{Write: true, Addr: addr, Data: data}})
+	if err != nil {
+		return err
+	}
+	return res[0].Err
+}
+
+// ReadCtx is Read with DoCtx's deadline and load-shed semantics.
+func (e *Engine) ReadCtx(ctx context.Context, addr uint64) ([]byte, error) {
+	res, err := e.DoCtx(ctx, []Op{{Addr: addr}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Data, res[0].Err
+}
+
+// WriteCtx is Write with DoCtx's deadline and load-shed semantics.
+func (e *Engine) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
+	res, err := e.DoCtx(ctx, []Op{{Write: true, Addr: addr, Data: data}})
 	if err != nil {
 		return err
 	}
@@ -271,6 +436,10 @@ type Snapshot struct {
 	PerShard []core.StatsSnapshot `json:"per_shard"`
 	// SRAMBytes is the summed predictor + CID register overhead.
 	SRAMBytes int `json:"sram_bytes"`
+	// Robust holds the engine-level degradation counters: sheds,
+	// cancellations, and injected faults. Ops counted here never touched
+	// a Memory, so they are disjoint from the per-shard counters.
+	Robust RobustStats `json:"robust"`
 }
 
 // StatsSnapshot captures a coherent per-shard snapshot by routing a
@@ -278,7 +447,16 @@ type Snapshot struct {
 // in-flight ops) and merges the results. After Close it reads the idle
 // shards directly, so a final post-drain snapshot still works.
 func (e *Engine) StatsSnapshot() Snapshot {
-	snap := Snapshot{PerShard: make([]core.StatsSnapshot, len(e.shards)), SRAMBytes: e.sramBytes}
+	snap := Snapshot{
+		PerShard:  make([]core.StatsSnapshot, len(e.shards)),
+		SRAMBytes: e.sramBytes,
+		Robust: RobustStats{
+			Sheds:          e.robust.sheds.Load(),
+			Canceled:       e.robust.canceled.Load(),
+			InjectedErrors: e.robust.injectedErrs.Load(),
+			InjectedDelays: e.robust.injectedDelays.Load(),
+		},
+	}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -304,14 +482,19 @@ func (e *Engine) StatsSnapshot() Snapshot {
 
 // Close drains every shard's pipeline and stops the shard goroutines.
 // In-flight and queued ops complete; subsequent submissions fail with
-// ErrClosed. Close is idempotent: the first call drains, later calls
-// report ErrClosed.
+// ErrClosed. A Do blocked on a full queue when Close fires is
+// interrupted: its unsent ops fail with ErrClosed per op instead of
+// holding the caller (and Close) hostage behind backpressure. Close is
+// idempotent: the first call drains, later calls report ErrClosed.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closing.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
+	// Interrupt submitters blocked in backpressure sends first; only then
+	// can the write lock be acquired (submitters hold the read lock for
+	// the duration of their sends).
+	close(e.stop)
+	e.mu.Lock()
 	e.closed = true
 	for _, w := range e.shards {
 		close(w.reqs)

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Coverage ratchet: fail if total statement coverage drops more than
+# 1 point below the committed baseline (scripts/coverage_baseline.txt).
+#
+# Raise the baseline by running with UPDATE=1:
+#
+#	UPDATE=1 ./scripts/coverage_ratchet.sh
+#
+# The baseline is a floor, not a target — when a PR raises coverage
+# meaningfully, re-baseline so the ratchet keeps holding the new ground.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline_file=scripts/coverage_baseline.txt
+profile="${TMPDIR:-/tmp}/attache-cover.$$.out"
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./... >/dev/null
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+[ -n "$total" ] || { echo "ratchet: could not read total coverage"; exit 1; }
+
+if [ "${UPDATE:-}" = "1" ]; then
+	echo "$total" > "$baseline_file"
+	echo "ratchet: baseline updated to ${total}%"
+	exit 0
+fi
+
+baseline="$(cat "$baseline_file")"
+echo "ratchet: total coverage ${total}% (baseline ${baseline}%, tolerance 1.0)"
+awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t + 1.0 < b) }' && {
+	echo "ratchet: FAIL — coverage dropped more than 1 point below baseline"
+	echo "ratchet: add tests, or re-baseline deliberately with UPDATE=1"
+	exit 1
+}
+echo "ratchet: OK"
