@@ -40,8 +40,11 @@
 package attache
 
 import (
+	"context"
+
 	"attache/internal/copr"
 	"attache/internal/core"
+	"attache/internal/obs"
 	"attache/internal/shard"
 )
 
@@ -109,6 +112,33 @@ type RobustStats = shard.RobustStats
 // partial failure). The zero value disables injection. See WithFaultPlan.
 type FaultPlan = shard.FaultPlan
 
+// Observer is the observability hub an Engine (and the serve layer)
+// reports into: structured slog logging, sampled request tracing with
+// ring-buffer retention, and per-shard queue gauges. Build one with
+// NewObserver and attach it with WithObserver. A nil Observer is "off"
+// and costs one branch per submission.
+type Observer = obs.Observer
+
+// ObserverConfig sizes an Observer: logger, trace sample rate, and
+// retained-trace ring size.
+type ObserverConfig = obs.Config
+
+// TraceID identifies one traced request (16 hex digits).
+type TraceID = obs.TraceID
+
+// Trace accumulates one request's pipeline spans. Create one with
+// NewTrace, attach it with ContextWithTrace, submit through DoCtx, and
+// read the queue-wait/service-time split with Decompose or Timeline.
+type Trace = obs.Trace
+
+// Timeline is the JSON rendering of a finished Trace: raw span events
+// plus the queue-wait / service-time / total decomposition.
+type Timeline = obs.Timeline
+
+// ShardGauge is one shard's point-in-time queue telemetry (depth,
+// in-flight, last batch size), as returned by Engine.Gauges.
+type ShardGauge = obs.ShardGauge
+
 // Typed sentinel errors; every error the package returns wraps one of
 // these (match with errors.Is).
 var (
@@ -144,6 +174,7 @@ type settings struct {
 	queueDepth int
 	maxLines   uint64
 	faults     FaultPlan
+	obs        *Observer
 }
 
 // Option customizes a constructor. Options compose left to right; later
@@ -212,6 +243,35 @@ func WithFaultPlan(p FaultPlan) Option {
 	return func(s *settings) { s.faults = p }
 }
 
+// WithObserver attaches an observability hub to an Engine: requests
+// carrying a Trace in their context — and a sampled fraction of the
+// rest, per the observer's SampleRate — get per-stage pipeline spans
+// (enqueue, dequeue, execute, respond) decomposing latency into queue
+// wait vs. service time. The unsampled path stays allocation-free.
+// Ignored by NewMemoryWith.
+func WithObserver(o *Observer) Option {
+	return func(s *settings) { s.obs = o }
+}
+
+// NewObserver builds an observability hub (see WithObserver and
+// serve.Config.Obs).
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
+
+// NewTrace starts an explicit request trace; attach it to a context
+// with ContextWithTrace and submit through the Engine's ctx-aware ops.
+// id 0 is replaced by a generated ID when used with an Observer's
+// StartTrace; here it is kept as given.
+func NewTrace(id TraceID) *Trace { return obs.NewTrace(id) }
+
+// ContextWithTrace returns a child context carrying tr; Engine ops
+// called with it record their pipeline spans into tr.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return obs.ContextWithTrace(ctx, tr)
+}
+
+// TraceFromContext returns the context's trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return obs.TraceFromContext(ctx) }
+
 func apply(opts []Option) settings {
 	s := settings{opts: core.DefaultOptions()}
 	for _, o := range opts {
@@ -243,5 +303,6 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		QueueDepth: s.queueDepth,
 		MaxLines:   s.maxLines,
 		Faults:     s.faults,
+		Obs:        s.obs,
 	})
 }

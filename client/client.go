@@ -15,6 +15,15 @@
 // attache.ErrBadLineSize, attache.ErrOutOfRange, and the context
 // sentinels, whether the failure was a whole response (StatusError) or
 // one op inside a batch.
+//
+// Tracing: a context built with ContextWithTrace (or ContextWithTraceID)
+// sends its ID in the X-Attache-Trace header on every request made with
+// it, so a daemon running with tracing enabled records the request's
+// pipeline timeline, retrievable from /v1/trace/{id} (or Client.Trace):
+//
+//	ctx, id := client.ContextWithTrace(context.Background())
+//	data, err := c.Read(ctx, 42)
+//	tl, err := c.Trace(context.Background(), id)  // queue wait vs service time
 package client
 
 import (
@@ -29,9 +38,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"attache"
+	"attache/internal/obs"
 )
 
 // Client talks to one attached daemon. It is safe for concurrent use.
@@ -156,6 +167,30 @@ func parseRetryAfter(h string) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
+// traceKey keys the outgoing trace ID in a context.
+type traceKey struct{}
+
+// idCtr seeds fresh client-side trace IDs (mixed with the wall clock at
+// init so concurrent processes do not collide).
+var idCtr atomic.Uint64
+
+func init() { idCtr.Store(uint64(time.Now().UnixNano())) }
+
+// ContextWithTrace returns a child context carrying a fresh trace ID,
+// and the ID itself. Every request made with the context sends the ID
+// in the X-Attache-Trace header; a daemon with tracing enabled records
+// that request's pipeline timeline under it.
+func ContextWithTrace(ctx context.Context) (context.Context, string) {
+	id := attache.TraceID(idCtr.Add(0x9E3779B97F4A7C15) | 1).String()
+	return ContextWithTraceID(ctx, id), id
+}
+
+// ContextWithTraceID is ContextWithTrace with a caller-chosen ID (the
+// hex form, up to 16 digits), e.g. one assigned by an upstream system.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
 // roundTrip POSTs (or GETs, for empty body) path with retries and
 // returns the final response status and body.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
@@ -173,6 +208,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 			return 0, nil, fmt.Errorf("client: %w", err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if id, ok := ctx.Value(traceKey{}).(string); ok && id != "" {
+			req.Header.Set(obs.TraceHeader, id)
+		}
 
 		var retryAfter time.Duration
 		resp, err := c.hc.Do(req)
@@ -363,6 +401,24 @@ func (c *Client) Stats(ctx context.Context) (attache.EngineSnapshot, error) {
 		return snap, fmt.Errorf("client: bad stats response: %w", err)
 	}
 	return snap, nil
+}
+
+// Trace fetches the pipeline timeline of a traced request by ID (as
+// returned by ContextWithTrace). The daemon retains a bounded ring of
+// recent traces, so look timelines up promptly.
+func (c *Client) Trace(ctx context.Context, id string) (attache.Timeline, error) {
+	var tl attache.Timeline
+	code, respBody, err := c.roundTrip(ctx, http.MethodGet, "/v1/trace/"+id, nil)
+	if err != nil {
+		return tl, err
+	}
+	if code != http.StatusOK {
+		return tl, statusToErr(code, respBody)
+	}
+	if err := json.Unmarshal(respBody, &tl); err != nil {
+		return tl, fmt.Errorf("client: bad trace response: %w", err)
+	}
+	return tl, nil
 }
 
 // Health probes /healthz; nil means the daemon is live and not draining.

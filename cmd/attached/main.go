@@ -11,6 +11,13 @@
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
 //
+// Observability: logs are structured (log/slog, level set by
+// -log-level); -trace-sample samples that fraction of requests into the
+// trace ring, browsable at /v1/trace and /v1/trace/{id} (clients opt in
+// per request with an X-Attache-Trace header); /debug/pprof/* is
+// mounted unless -pprof=false; per-shard queue-depth gauges are polled
+// every -gauge-interval and exported at /metrics and /v1/stats.
+//
 // SIGTERM/SIGINT starts a graceful drain: the listener stops accepting,
 // in-flight requests finish (bounded by -shutdown-timeout), the engine's
 // pipelines drain, and the daemon logs a final stats snapshot.
@@ -20,12 +27,15 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
+	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
 	"attache"
+	"attache/internal/obs"
 	"attache/internal/serve"
 )
 
@@ -46,6 +56,13 @@ func main() {
 		maxBatch        = flag.Int("max-batch", 4096, "max ops per /v1/batch request")
 		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 
+		// Observability knobs.
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error (access logs for 2xx log at debug)")
+		traceSample   = flag.Float64("trace-sample", 0, "fraction of requests to trace [0,1]; explicit X-Attache-Trace requests are always traced")
+		traceRing     = flag.Int("trace-ring", 1024, "completed traces retained for /v1/trace lookup")
+		pprof         = flag.Bool("pprof", true, "mount /debug/pprof/*")
+		gaugeInterval = flag.Duration("gauge-interval", 10*time.Second, "queue-depth gauge polling period")
+
 		// Chaos knobs: seeded fault injection on the shard pipelines, for
 		// resilience testing with cmd/attacheload. All off by default.
 		faultSeed     = flag.Int64("fault-seed", 1, "fault-injection seed")
@@ -55,6 +72,18 @@ func main() {
 		faultPartial  = flag.Float64("fault-partial", 0, "per-batch partial-failure probability [0,1]")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("attached: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	observer := attache.NewObserver(attache.ObserverConfig{
+		Logger:     logger,
+		SampleRate: *traceSample,
+		RingSize:   *traceRing,
+	})
 
 	opts := []attache.Option{
 		attache.WithCIDWidth(*cidBits),
@@ -69,6 +98,7 @@ func main() {
 			Delay:    *faultDelayDur,
 			PartialP: *faultPartial,
 		}),
+		attache.WithObserver(observer),
 	}
 	if *noPredictor {
 		opts = append(opts, attache.WithoutPredictor())
@@ -89,6 +119,9 @@ func main() {
 		ShutdownTimeout: *shutdownTimeout,
 		MaxBatchOps:     *maxBatch,
 		RetryAfter:      *retryAfter,
+		Obs:             observer,
+		EnablePprof:     *pprof,
+		GaugeInterval:   *gaugeInterval,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -96,15 +129,19 @@ func main() {
 
 	go func() {
 		<-srv.Ready()
-		log.Printf("attached: serving on %s (%d shards, queue depth %d, SRAM overhead %d KB)",
-			srv.Addr(), eng.Shards(), *queueDepth, eng.StorageOverheadBytes()>>10)
+		logger.Info("serving",
+			"addr", srv.Addr(), "shards", eng.Shards(), "queue_depth", *queueDepth,
+			"sram_overhead_kb", eng.StorageOverheadBytes()>>10,
+			"trace_sample", *traceSample, "pprof", *pprof)
 	}()
 	err = srv.ListenAndServe(ctx)
 
 	snap := eng.StatsSnapshot().Total
-	log.Printf("attached: drained — %d reads, %d writes, %d lines (%.1f%% compressed), %.1f%% bandwidth saved, COPR %.1f%%",
-		snap.Reads, snap.Writes, snap.Lines, snap.CompressedLineRatio()*100,
-		snap.BandwidthSavings()*100, snap.PredictionAccuracy*100)
+	logger.Info("drained",
+		"reads", snap.Reads, "writes", snap.Writes, "lines", snap.Lines,
+		"compressed_ratio", snap.CompressedLineRatio(),
+		"bandwidth_saved", snap.BandwidthSavings(),
+		"copr_accuracy", snap.PredictionAccuracy)
 	if err != nil {
 		log.Fatalf("attached: %v", err)
 	}

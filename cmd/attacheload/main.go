@@ -17,6 +17,10 @@
 //
 // The report covers throughput, per-kind latency quantiles, shed rate,
 // and the full error taxonomy; -json emits it as one JSON object.
+// -trace-queue-wait threads a pipeline trace through every event
+// (in-process targets only) and adds per-kind queue-wait quantiles —
+// the time ops sat in shard queues before a worker picked them up —
+// so queueing delay can be told apart from service time.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +40,7 @@ import (
 	"attache"
 	"attache/client"
 	"attache/internal/loadgen"
+	"attache/internal/obs"
 	"attache/internal/shard"
 )
 
@@ -60,6 +66,8 @@ func main() {
 		prefill     = flag.Int("prefill", 0, "lines to prefill (0 = space/2, -1 = none)")
 		target      = flag.String("target", "", "drive a running attached daemon at this base URL instead of an in-process engine")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+		logLevel    = flag.String("log-level", "warn", "harness log level: debug, info, warn, error")
+		queueWait   = flag.Bool("trace-queue-wait", false, "trace every event through the engine pipeline and report per-kind queue-wait quantiles (in-process targets only)")
 
 		// In-process engine shape (ignored with -target).
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shard count")
@@ -74,25 +82,37 @@ func main() {
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("attacheload: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	cfg := loadgen.Config{
-		Seed:        *seed,
-		Events:      *events,
-		Concurrency: *concurrency,
-		AddrSpace:   *space,
-		ReadWeight:  *readW,
-		WriteWeight: *writeW,
-		BatchWeight: *batchW,
-		BatchSize:   *batchSize,
-		Rate:        *rate,
-		OpTimeout:   *opTimeout,
-		Prefill:     *prefill,
+		Seed:           *seed,
+		Events:         *events,
+		Concurrency:    *concurrency,
+		AddrSpace:      *space,
+		ReadWeight:     *readW,
+		WriteWeight:    *writeW,
+		BatchWeight:    *batchW,
+		BatchSize:      *batchSize,
+		Rate:           *rate,
+		OpTimeout:      *opTimeout,
+		Prefill:        *prefill,
+		TraceQueueWait: *queueWait,
 	}
 
 	var tgt loadgen.Target
 	if *target != "" {
+		if *queueWait {
+			logger.Warn("trace-queue-wait ignored: traces do not cross the HTTP boundary", "target", *target)
+			cfg.TraceQueueWait = false
+		}
 		tgt = clientTarget{c: client.New(*target, client.WithMaxRetries(0))}
 	} else {
-		eng, err := attache.NewEngine(
+		opts := []attache.Option{
 			attache.WithShards(*shards),
 			attache.WithQueueDepth(*queueDepth),
 			attache.WithFaultPlan(attache.FaultPlan{
@@ -102,7 +122,13 @@ func main() {
 				Delay:    *faultDelayDur,
 				PartialP: *faultPartial,
 			}),
-		)
+		}
+		if *queueWait {
+			// A rate-0 observer never samples on its own but makes the
+			// engine honor the traces the harness puts in each context.
+			opts = append(opts, attache.WithObserver(attache.NewObserver(attache.ObserverConfig{Logger: logger})))
+		}
+		eng, err := attache.NewEngine(opts...)
 		if err != nil {
 			log.Fatalf("attacheload: %v", err)
 		}
@@ -145,6 +171,14 @@ func printReport(rep loadgen.Report) {
 	for _, k := range kinds {
 		q := rep.Latency[k]
 		fmt.Printf("latency %-6s p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  max %8.1fµs  (n=%d)\n",
+			k, q.P50Micros, q.P90Micros, q.P99Micros, q.MaxMicros, q.Count)
+	}
+	for _, k := range kinds {
+		q, ok := rep.QueueWait[k]
+		if !ok {
+			continue
+		}
+		fmt.Printf("qwait   %-6s p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  max %8.1fµs  (n=%d)\n",
 			k, q.P50Micros, q.P90Micros, q.P99Micros, q.MaxMicros, q.Count)
 	}
 

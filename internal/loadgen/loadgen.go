@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"attache/internal/core"
+	"attache/internal/obs"
 	"attache/internal/shard"
 )
 
@@ -67,6 +68,14 @@ type Config struct {
 	// measured run so reads mostly hit written lines. 0 defaults to
 	// AddrSpace/2, capped at 1<<16; negative disables prefill.
 	Prefill int
+	// TraceQueueWait attaches a pipeline trace to every event so the
+	// report can split event latency into queue wait vs. service time
+	// (Report.QueueWait). Only meaningful against an in-process engine
+	// built with an Observer (the engine ignores context traces when it
+	// has none — that keeps its untraced hot path free): traces do not
+	// cross the HTTP boundary, so with an HTTP target the samples are
+	// all zero.
+	TraceQueueWait bool
 }
 
 func (c Config) withDefaults() Config {
@@ -239,6 +248,10 @@ type Report struct {
 	Errors map[string]uint64 `json:"errors"`
 	// Latency holds per-kind event-latency quantiles.
 	Latency map[string]Quantiles `json:"latency"`
+	// QueueWait holds per-kind queue-wait quantiles (time an event's ops
+	// spent buffered in shard queues before a worker picked them up).
+	// Populated only when Config.TraceQueueWait is set.
+	QueueWait map[string]Quantiles `json:"queue_wait,omitempty"`
 }
 
 // Classify buckets an op error for the taxonomy.
@@ -280,6 +293,7 @@ type workerTally struct {
 	ops, opsOK uint64
 	errs       map[string]uint64
 	samples    map[Kind][]time.Duration
+	qwait      map[Kind][]time.Duration
 }
 
 // Run executes the planned sequence against target and reports. The
@@ -305,6 +319,7 @@ func Run(ctx context.Context, target Target, cfg Config) (Report, error) {
 			tl := &tallies[w]
 			tl.errs = make(map[string]uint64)
 			tl.samples = make(map[Kind][]time.Duration)
+			tl.qwait = make(map[Kind][]time.Duration)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(events) || ctx.Err() != nil {
@@ -326,11 +341,20 @@ func Run(ctx context.Context, target Target, cfg Config) (Report, error) {
 				if cfg.OpTimeout > 0 {
 					ectx, cancel = context.WithTimeout(ctx, cfg.OpTimeout)
 				}
+				var tr *obs.Trace
+				if cfg.TraceQueueWait {
+					tr = obs.NewTrace(obs.TraceID(uint64(i) + 1))
+					ectx = obs.ContextWithTrace(ectx, tr)
+				}
 				t0 := time.Now()
 				res, err := target.DoCtx(ectx, ev.Ops)
 				lat := time.Since(t0)
 				cancel()
 				tl.samples[ev.Kind] = append(tl.samples[ev.Kind], lat)
+				if tr != nil {
+					qw, _, _ := tr.Decompose()
+					tl.qwait[ev.Kind] = append(tl.qwait[ev.Kind], qw)
+				}
 				tl.ops += uint64(len(ev.Ops))
 				if err != nil {
 					// Whole-event failure (expired ctx, closed engine):
@@ -359,6 +383,7 @@ func Run(ctx context.Context, target Target, cfg Config) (Report, error) {
 		Latency:  make(map[string]Quantiles),
 	}
 	samples := make(map[Kind][]time.Duration)
+	qwaits := make(map[Kind][]time.Duration)
 	for i := range tallies {
 		rep.Ops += tallies[i].ops
 		rep.OpsOK += tallies[i].opsOK
@@ -367,6 +392,9 @@ func Run(ctx context.Context, target Target, cfg Config) (Report, error) {
 		}
 		for k, s := range tallies[i].samples {
 			samples[k] = append(samples[k], s...)
+		}
+		for k, s := range tallies[i].qwait {
+			qwaits[k] = append(qwaits[k], s...)
 		}
 	}
 	if elapsed > 0 {
@@ -377,6 +405,12 @@ func Run(ctx context.Context, target Target, cfg Config) (Report, error) {
 	}
 	for k, s := range samples {
 		rep.Latency[k.String()] = quantiles(s)
+	}
+	if cfg.TraceQueueWait {
+		rep.QueueWait = make(map[string]Quantiles)
+		for k, s := range qwaits {
+			rep.QueueWait[k.String()] = quantiles(s)
+		}
 	}
 	return rep, nil
 }

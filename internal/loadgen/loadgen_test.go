@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"attache/internal/core"
+	"attache/internal/obs"
 	"attache/internal/shard"
 )
 
@@ -197,4 +198,47 @@ func sum(m map[string]uint64) uint64 {
 		n += v
 	}
 	return n
+}
+
+// TestRunQueueWaitReport: with TraceQueueWait on (and an observer on the
+// engine so context traces are honored), the report carries per-kind
+// queue-wait quantiles, one sample per event, each no larger than the
+// event's own latency.
+func TestRunQueueWaitReport(t *testing.T) {
+	cfg := Config{Seed: 5, Events: 200, Concurrency: 4, AddrSpace: 128, Prefill: 128, TraceQueueWait: true}
+	eng := newEngine(t, shard.Config{Shards: 2, Obs: obs.New(obs.Config{Seed: 1})})
+	rep, err := Run(context.Background(), eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.QueueWait) == 0 {
+		t.Fatalf("TraceQueueWait set but report has no queue-wait buckets: %+v", rep)
+	}
+	var samples uint64
+	for kind, q := range rep.QueueWait {
+		samples += q.Count
+		lat, ok := rep.Latency[kind]
+		if !ok {
+			t.Fatalf("queue-wait bucket %q has no latency bucket", kind)
+		}
+		if q.Count != lat.Count {
+			t.Fatalf("%s: %d queue-wait samples vs %d latency samples", kind, q.Count, lat.Count)
+		}
+		if q.Max > lat.Max {
+			t.Fatalf("%s: max queue wait %v exceeds max latency %v", kind, q.Max, lat.Max)
+		}
+	}
+	if samples != uint64(rep.Events) {
+		t.Fatalf("queue-wait samples %d != events %d", samples, rep.Events)
+	}
+
+	// Without the flag the section is absent entirely.
+	cfg.TraceQueueWait = false
+	rep, err = Run(context.Background(), eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueueWait != nil {
+		t.Fatalf("queue-wait section present without the flag: %+v", rep.QueueWait)
+	}
 }

@@ -124,6 +124,20 @@ func (s *Server) renderPerShard(b *strings.Builder, snap shard.Snapshot) {
 	for i, sh := range snap.PerShard {
 		fmt.Fprintf(b, "attached_shard_lines{shard=\"%d\"} %d\n", i, sh.Lines)
 	}
+
+	gauges := s.eng.Gauges()
+	fmt.Fprintf(b, "# HELP attached_shard_queue_depth Tasks buffered in the shard's pipeline queue.\n# TYPE attached_shard_queue_depth gauge\n")
+	for _, g := range gauges {
+		fmt.Fprintf(b, "attached_shard_queue_depth{shard=\"%d\"} %d\n", g.Shard, g.QueueDepth)
+	}
+	fmt.Fprintf(b, "# HELP attached_shard_inflight Tasks admitted to the shard but not yet completed.\n# TYPE attached_shard_inflight gauge\n")
+	for _, g := range gauges {
+		fmt.Fprintf(b, "attached_shard_inflight{shard=\"%d\"} %d\n", g.Shard, g.InFlight)
+	}
+	fmt.Fprintf(b, "# HELP attached_shard_last_batch_ops Ops in the shard's most recently dequeued batch.\n# TYPE attached_shard_last_batch_ops gauge\n")
+	for _, g := range gauges {
+		fmt.Fprintf(b, "attached_shard_last_batch_ops{shard=\"%d\"} %d\n", g.Shard, g.LastBatchOps)
+	}
 }
 
 func (s *Server) renderHTTP(b *strings.Builder) {

@@ -5,8 +5,19 @@
 //	POST /v1/write   {"addr":42,"data":"<base64>"}   -> {"addr":42,"ok":true}
 //	POST /v1/batch   ops as a JSON array, or one JSON object per line     -> per-op results
 //	GET  /v1/stats   engine snapshot (totals + per shard) as JSON
+//	GET  /v1/trace/{id}  one traced request's pipeline timeline (Config.Obs)
+//	GET  /v1/trace   the most recent retained timelines
 //	GET  /healthz    liveness ("ok", or 503 once draining)
 //	GET  /metrics    Prometheus text exposition
+//	GET  /debug/pprof/*  runtime profiles (Config.EnablePprof)
+//
+// With Config.Obs set, the /v1 data endpoints are traced: a request
+// carrying an X-Attache-Trace header is always traced under that ID
+// (the header is echoed back), others are sampled at the observer's
+// rate, and every traced request's engine pipeline timeline is
+// retrievable from /v1/trace/{id}. The observer's slog logger receives
+// access logs (Debug for 2xx, Info for 4xx, Warn for 5xx) and periodic
+// per-shard queue gauges.
 //
 // Failures map to status codes by sentinel: ErrNeverWritten -> 404,
 // ErrBadLineSize / ErrOutOfRange -> 400, ErrOverloaded -> 429 (with a
@@ -27,13 +38,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"attache/internal/core"
+	"attache/internal/obs"
 	"attache/internal/shard"
 )
 
@@ -58,6 +73,16 @@ type Config struct {
 	// RetryAfter is the backoff hint sent with 429 responses when the
 	// engine sheds load. 0 defaults to 1s.
 	RetryAfter time.Duration
+	// Obs enables the observability layer: request tracing with
+	// X-Attache-Trace propagation, the /v1/trace endpoints, slog access
+	// logs, and periodic queue gauges. nil disables all of it.
+	Obs *obs.Observer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default; cmd/attached turns it on unless -pprof=false.
+	EnablePprof bool
+	// GaugeInterval paces the queue-gauge poller when Obs is set.
+	// 0 defaults to 10s.
+	GaugeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,13 +124,24 @@ func New(eng *shard.Engine, cfg Config) *Server {
 		started: time.Now(),
 		readyCh: make(chan struct{}),
 	}
-	s.metrics = newMetricsSet("/v1/read", "/v1/write", "/v1/batch", "/v1/stats", "/healthz", "/metrics")
-	s.mux.HandleFunc("/v1/read", s.instrument("/v1/read", post(s.handleRead)))
-	s.mux.HandleFunc("/v1/write", s.instrument("/v1/write", post(s.handleWrite)))
-	s.mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", post(s.handleBatch)))
-	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
-	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.metrics = newMetricsSet("/v1/read", "/v1/write", "/v1/batch", "/v1/stats", "/v1/trace", "/healthz", "/metrics")
+	// The three data endpoints go through the engine pipeline, so they
+	// are the traced ones; the introspection endpoints are not.
+	s.mux.HandleFunc("/v1/read", s.instrument("/v1/read", true, post(s.handleRead)))
+	s.mux.HandleFunc("/v1/write", s.instrument("/v1/write", true, post(s.handleWrite)))
+	s.mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", true, post(s.handleBatch)))
+	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", false, s.handleStats))
+	s.mux.HandleFunc("/v1/trace/", s.instrument("/v1/trace", false, s.handleTrace))
+	s.mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", false, s.handleTrace))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", false, s.handleMetrics))
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -143,6 +179,11 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if s.cfg.Obs != nil {
+		// Periodic queue-depth/in-flight gauges; the poller exits with ctx
+		// when the drain starts.
+		go s.cfg.Obs.PollGauges(ctx, s.cfg.GaugeInterval, s.eng.Gauges)
+	}
 
 	select {
 	case err := <-errc:
@@ -217,13 +258,66 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with metrics, and — when an observer is
+// configured — tracing (for pipeline endpoints) and slog access logs.
+// An X-Attache-Trace request header forces tracing under that ID (an
+// unparseable one gets a fresh ID); otherwise the sampler decides. The
+// assigned ID is echoed in the response header, and the finished trace
+// lands in the observer's ring for /v1/trace/{id}.
+func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var tr *obs.Trace
+		if o := s.cfg.Obs; o != nil && traced {
+			if hdr := r.Header.Get(obs.TraceHeader); hdr != "" {
+				id, err := obs.ParseTraceID(hdr)
+				if err != nil {
+					id = 0 // bad ID: still trace, under a fresh one
+				}
+				tr = o.StartTrace(id)
+			} else if o.Sampled() {
+				tr = o.StartTrace(0)
+			}
+			if tr != nil {
+				sw.Header().Set(obs.TraceHeader, tr.ID().String())
+				r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+			}
+		}
 		h(sw, r)
-		s.metrics.observe(endpoint, sw.code, time.Since(start))
+		d := time.Since(start)
+		s.metrics.observe(endpoint, sw.code, d)
+		if o := s.cfg.Obs; o != nil {
+			if tr != nil {
+				o.Finish(tr)
+			}
+			s.accessLog(r, endpoint, sw.code, d, tr)
+		}
 	}
+}
+
+// accessLog emits one structured log line per request: Debug for
+// successes (high-volume), Info for client errors, Warn for server
+// errors — so a production log level of Info surfaces only trouble.
+func (s *Server) accessLog(r *http.Request, endpoint string, code int, d time.Duration, tr *obs.Trace) {
+	level := slog.LevelDebug
+	switch {
+	case code >= 500:
+		level = slog.LevelWarn
+	case code >= 400:
+		level = slog.LevelInfo
+	}
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", endpoint),
+		slog.Int("code", code),
+		slog.Duration("dur", d),
+		slog.String("remote", r.RemoteAddr),
+	}
+	if tr != nil {
+		attrs = append(attrs, slog.String("trace_id", tr.ID().String()))
+	}
+	s.cfg.Obs.Logger().LogAttrs(r.Context(), level, "http", attrs...)
 }
 
 func post(h http.HandlerFunc) http.HandlerFunc {
@@ -429,9 +523,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.StatsSnapshot()
 	writeJSON(w, http.StatusOK, struct {
 		shard.Snapshot
-		Shards        int     `json:"shards"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-	}{snap, s.eng.Shards(), time.Since(s.started).Seconds()})
+		Shards        int              `json:"shards"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		Telemetry     []obs.ShardGauge `json:"telemetry"`
+	}{snap, s.eng.Shards(), time.Since(s.started).Seconds(), s.eng.Gauges()})
+}
+
+// handleTrace serves one traced request's timeline by ID
+// (/v1/trace/{id}), or the most recent retained timelines when no ID is
+// given (/v1/trace).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		writeJSON(w, http.StatusNotFound, errResp{Error: "tracing disabled: run with an observer (-trace-sample)"})
+		return
+	}
+	idStr := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/v1/trace"), "/")
+	if idStr == "" {
+		writeJSON(w, http.StatusOK, struct {
+			Traces []obs.Timeline `json:"traces"`
+		}{s.cfg.Obs.Recent(32)})
+		return
+	}
+	id, err := obs.ParseTraceID(idStr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
+		return
+	}
+	tl, ok := s.cfg.Obs.Timeline(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errResp{Error: fmt.Sprintf("trace %s not retained (ring holds the most recent traces only)", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

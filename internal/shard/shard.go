@@ -33,8 +33,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"attache/internal/core"
+	"attache/internal/obs"
 )
 
 // ErrClosed reports an operation on an engine after Close.
@@ -56,6 +58,13 @@ type Config struct {
 	// Faults, when enabled, injects seeded delays/errors/partial-batch
 	// failures into every shard's pipeline. Off (zero) by default.
 	Faults FaultPlan
+	// Obs, when non-nil, turns on pipeline tracing: requests carrying a
+	// trace in their context (and a sampled fraction of the rest, per the
+	// observer's sample rate) get enqueue/dequeue/execute/respond spans
+	// recorded, decomposing latency into queue wait vs. service time.
+	// nil (the default) costs one branch per submission and zero
+	// allocations.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +109,12 @@ type task struct {
 	res  []Result
 	snap *core.StatsSnapshot
 	done *sync.WaitGroup
+
+	// tr, when non-nil, receives this task's pipeline spans; enq is the
+	// trace-relative enqueue instant the dequeue span starts from. Both
+	// are zero on the untraced path.
+	tr  *obs.Trace
+	enq time.Duration
 }
 
 // robustCounters are the engine-level degradation counters: everything
@@ -127,12 +142,18 @@ type RobustStats struct {
 }
 
 // worker owns one shard: one Memory, one goroutine, one queue, and (when
-// fault injection is on) one seeded injector.
+// fault injection is on) one seeded injector. inflight and lastBatch are
+// the shard's queue telemetry, maintained unconditionally (two atomic
+// ops per task, no allocation) so Engine.Gauges always has live data.
 type worker struct {
+	id     int
 	mem    *core.Memory
 	reqs   chan task
 	inj    *injector
 	robust *robustCounters
+
+	inflight  atomic.Int64 // op tasks admitted but not yet completed
+	lastBatch atomic.Int64 // ops in the most recently dequeued task
 }
 
 func (w *worker) run(wg *sync.WaitGroup) {
@@ -143,6 +164,11 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			t.done.Done()
 			continue
 		}
+		w.lastBatch.Store(int64(len(t.idx)))
+		if t.tr != nil {
+			// The dequeue span is the queue wait: enqueue instant → now.
+			t.tr.Record(obs.StageDequeue, w.id, len(t.idx), t.enq, t.tr.Now())
+		}
 		// A task whose context died while it sat in the queue is skipped
 		// wholesale: the slot is freed without touching the memory, and
 		// every op reports the context's error.
@@ -152,9 +178,14 @@ func (w *worker) run(wg *sync.WaitGroup) {
 					t.res[j].Err = err
 				}
 				w.robust.canceled.Add(uint64(len(t.idx)))
+				w.inflight.Add(-1)
 				t.done.Done()
 				continue
 			}
+		}
+		var x0 time.Duration
+		if t.tr != nil {
+			x0 = t.tr.Now()
 		}
 		cut := len(t.idx)
 		if w.inj != nil {
@@ -184,6 +215,11 @@ func (w *worker) run(wg *sync.WaitGroup) {
 				t.res[j].Data, t.res[j].Err = w.mem.Read(op.Addr)
 			}
 		}
+		if t.tr != nil {
+			// The execute span is the service time on this shard.
+			t.tr.Record(obs.StageExecute, w.id, len(t.idx), x0, t.tr.Now())
+		}
+		w.inflight.Add(-1)
 		t.done.Done()
 	}
 }
@@ -195,6 +231,7 @@ type Engine struct {
 	shards    []*worker
 	sramBytes int
 	robust    robustCounters
+	obs       *obs.Observer // nil = tracing off
 
 	// stop is closed at the start of Close, before the submission lock is
 	// taken: it interrupts submitters blocked on full queues so Close
@@ -221,7 +258,7 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 	if err := cfg.Faults.validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards), stop: make(chan struct{})}
+	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards), stop: make(chan struct{}), obs: cfg.Obs}
 	for i := range e.shards {
 		o := opts
 		// Shard 0 keeps the caller's seed exactly (single-shard results
@@ -234,6 +271,7 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 		}
 		e.sramBytes += mem.Framework().StorageOverheadBytes()
 		e.shards[i] = &worker{
+			id:     i,
 			mem:    mem,
 			reqs:   make(chan task, cfg.QueueDepth),
 			inj:    newInjector(cfg.Faults, i),
@@ -259,6 +297,24 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // StorageOverheadBytes reports the summed SRAM cost of every shard's
 // predictor tables and CID register.
 func (e *Engine) StorageOverheadBytes() int { return e.sramBytes }
+
+// Gauges reads each shard's live queue telemetry: queue depth (tasks
+// buffered in the pipeline channel), in-flight count (tasks admitted
+// but not yet completed), and the size of the last dequeued batch.
+// Lock-free and safe at any time; feed it to obs.PollGauges for a
+// periodic signal.
+func (e *Engine) Gauges() []obs.ShardGauge {
+	out := make([]obs.ShardGauge, len(e.shards))
+	for i, w := range e.shards {
+		out[i] = obs.ShardGauge{
+			Shard:        i,
+			QueueDepth:   len(w.reqs),
+			InFlight:     w.inflight.Load(),
+			LastBatchOps: w.lastBatch.Load(),
+		}
+	}
+	return out
+}
 
 // Do submits a batch of ops and blocks until every op completes,
 // returning results in submission order. Failures are isolated per op.
@@ -304,6 +360,21 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 	if len(ops) == 0 {
 		return res, nil
 	}
+	// Trace resolution: a trace already in the context (the HTTP layer or
+	// a harness put it there) is always honored; otherwise the observer's
+	// sampler may start one that the engine owns and finishes itself.
+	// With no observer configured this is a single nil check.
+	var tr *obs.Trace
+	owned := false
+	if e.obs != nil {
+		if ctx != nil {
+			tr = obs.TraceFromContext(ctx)
+		}
+		if tr == nil && e.obs.Sampled() {
+			tr = e.obs.StartTrace(0)
+			owned = true
+		}
+	}
 	perShard := make([][]int, len(e.shards))
 	for i, op := range ops {
 		if e.cfg.MaxLines > 0 && op.Addr >= e.cfg.MaxLines {
@@ -336,10 +407,16 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 			sub[k] = ops[j]
 		}
 		t := task{ctx: ctx, ops: sub, idx: idx, res: res, done: &done}
+		if tr != nil {
+			t.tr = tr
+			t.enq = tr.Now()
+		}
 		done.Add(1)
+		sent := false
 		if ctx == nil {
 			select {
 			case e.shards[s].reqs <- t:
+				sent = true
 			case <-e.stop:
 				done.Done()
 				closing = true
@@ -348,6 +425,7 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 		} else {
 			select {
 			case e.shards[s].reqs <- t:
+				sent = true
 			default:
 				done.Done()
 				e.robust.sheds.Add(uint64(len(idx)))
@@ -355,9 +433,24 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 					s, e.cfg.QueueDepth, core.ErrOverloaded))
 			}
 		}
+		if sent {
+			e.shards[s].inflight.Add(1)
+			if tr != nil {
+				// Enqueue is recorded only for tasks that actually entered
+				// a queue, so shed submissions never leave a dangling span.
+				tr.Record(obs.StageEnqueue, s, len(idx), t.enq, t.enq)
+			}
+		}
 	}
 	e.mu.RUnlock()
 	done.Wait()
+	if tr != nil {
+		now := tr.Now()
+		tr.Record(obs.StageRespond, -1, len(ops), now, now)
+		if owned {
+			e.obs.Finish(tr)
+		}
+	}
 	return res, nil
 }
 

@@ -10,6 +10,11 @@
 # meaningfully, re-baseline so the ratchet keeps holding the new ground.
 set -eu
 
+# awk compares coverage percentages as floats; pin the locale so the
+# decimal separator is always "." regardless of the host's LANG.
+LC_ALL=C
+export LC_ALL
+
 cd "$(dirname "$0")/.."
 baseline_file=scripts/coverage_baseline.txt
 profile="${TMPDIR:-/tmp}/attache-cover.$$.out"
