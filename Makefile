@@ -1,0 +1,37 @@
+# Developer entry points. Everything here is a thin wrapper over go
+# tooling and scripts/ so CI and local runs stay identical.
+
+GO ?= go
+
+.PHONY: build test race bench bench-gate bench-pin fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The benchmarks the gate pins, once, with allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput$$' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedThroughput$$|BenchmarkSubmitLatency$$' -benchmem ./internal/shard
+
+# Compare min-of-5 against scripts/bench_baseline.txt; fails on
+# regression and on >BENCH_GATE_IMPROVE_TOL% unexplained improvement.
+bench-gate:
+	./scripts/bench_gate.sh
+
+# Re-pin scripts/bench_baseline.txt via min-of-5 in one step. Run this
+# on the machine the gate will run on, and commit the result together
+# with the change that moved the numbers.
+bench-pin:
+	UPDATE=1 ./scripts/bench_gate.sh
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

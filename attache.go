@@ -219,12 +219,23 @@ func WithExtendedCompression() Option {
 
 // WithShards sets an Engine's shard count (0 = GOMAXPROCS). Ignored by
 // NewMemoryWith, which always builds a single unsharded Memory.
+//
+// Shards bound parallelism, not baseline cost: an uncontended shard
+// executes ops inline on the submitting goroutine (no handoff, no
+// per-op allocation), so a lightly loaded engine performs like a plain
+// Memory at any shard count, and extra shards only start paying off —
+// rather than costing — as concurrent submitters pile up. A 1-shard
+// engine remains bit-identical to an unsharded Memory with the same
+// options.
 func WithShards(n int) Option {
 	return func(s *settings) { s.shards = n }
 }
 
-// WithQueueDepth sets an Engine's per-shard pipeline buffer (0 = 64).
-// Ignored by NewMemoryWith.
+// WithQueueDepth sets an Engine's per-shard ring buffer (0 = 64): how
+// many submitted tasks a busy shard holds before Do blocks
+// (backpressure) and DoCtx sheds with ErrOverloaded. The depth is only
+// felt under contention — uncontended submissions bypass the ring
+// entirely. Ignored by NewMemoryWith.
 func WithQueueDepth(n int) Option {
 	return func(s *settings) { s.queueDepth = n }
 }

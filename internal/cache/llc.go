@@ -57,6 +57,12 @@ type LLC struct {
 	lines   []llcLine
 	tick    uint64
 	mshr    map[uint64]*mshrEntry
+	// mshrFree recycles mshrEntry values (and their waiter slices): an
+	// entry retires into the freelist when its fill completes, so the
+	// steady-state miss path allocates neither the entry nor the first
+	// waiter append. Purely an allocation optimization — entries are
+	// single-owner and the fill order is untouched.
+	mshrFree []*mshrEntry
 	// prefetchNextLine issues a fill for addr+1 alongside every demand
 	// miss (a simple sequential prefetcher; off by default — Table II
 	// does not specify one).
@@ -95,6 +101,16 @@ func (c *LLC) Sets() int { return c.sets }
 // EnableNextLinePrefetch turns the sequential prefetcher on or off.
 func (c *LLC) EnableNextLinePrefetch(on bool) { c.prefetchNextLine = on }
 
+// getEntry pops a recycled mshrEntry (empty, clean) or allocates one.
+func (c *LLC) getEntry() *mshrEntry {
+	if n := len(c.mshrFree); n > 0 {
+		e := c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		return e
+	}
+	return &mshrEntry{}
+}
+
 func (c *LLC) set(addr uint64) []llcLine {
 	s := int(addr) & (c.sets - 1)
 	return c.lines[s*c.ways : (s+1)*c.ways]
@@ -128,7 +144,8 @@ func (c *LLC) Read(addr uint64, done func(now sim.Time)) {
 		e.waiters = append(e.waiters, done)
 		return
 	}
-	e := &mshrEntry{waiters: []func(sim.Time){done}}
+	e := c.getEntry()
+	e.waiters = append(e.waiters, done)
 	c.mshr[addr] = e
 	c.eng.ScheduleAfter(c.latency, func(sim.Time) {
 		c.backend.Read(addr, func(now sim.Time) { c.fill(addr, now) })
@@ -149,7 +166,7 @@ func (c *LLC) maybePrefetch(addr uint64) {
 		return
 	}
 	c.Stats.Prefetches.Inc()
-	c.mshr[addr] = &mshrEntry{} // no waiters: fill installs silently
+	c.mshr[addr] = c.getEntry() // no waiters: fill installs silently
 	c.eng.ScheduleAfter(c.latency, func(sim.Time) {
 		c.backend.Read(addr, func(now sim.Time) { c.fill(addr, now) })
 	})
@@ -173,7 +190,8 @@ func (c *LLC) Write(addr uint64) {
 		e.dirty = true
 		return
 	}
-	e := &mshrEntry{dirty: true}
+	e := c.getEntry()
+	e.dirty = true
 	c.mshr[addr] = e
 	c.eng.ScheduleAfter(c.latency, func(sim.Time) {
 		c.backend.Read(addr, func(now sim.Time) { c.fill(addr, now) })
@@ -206,6 +224,14 @@ func (c *LLC) fill(addr uint64, now sim.Time) {
 	for _, w := range e.waiters {
 		w(now)
 	}
+	// Recycle only after the waiters ran: a waiter may re-enter the LLC
+	// and take a fresh entry, but it can never still hold this one.
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	e.dirty = false
+	c.mshrFree = append(c.mshrFree, e)
 }
 
 // OutstandingMisses reports in-flight fills (for drain checks).

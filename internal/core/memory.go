@@ -95,8 +95,11 @@ func (s *StatsSnapshot) Accumulate(o StatsSnapshot) {
 // A Memory is NOT safe for concurrent use: Read mutates the COPR
 // predictor and the stats counters, so concurrent Read/Write or
 // Read/PredictionAccuracy calls race. The concurrent entry point is the
-// sharded engine (internal/shard, attache.NewEngine), which gives each
-// shard exclusive ownership of one Memory.
+// sharded engine (internal/shard, attache.NewEngine), which guards each
+// shard's Memory with an execution lock — note "exclusive lock", not
+// "dedicated goroutine": an engine may apply ops on whichever goroutine
+// submitted them (the inline fast path), so Memory must not assume any
+// goroutine affinity, only mutual exclusion.
 type Memory struct {
 	f     *Framework
 	lines map[uint64]StoredLine

@@ -106,26 +106,27 @@ func (s *System) issueAttacheRead(lineAddr uint64, done func(sim.Time)) {
 		s.checker.OnReadIssue(lineAddr, predicted, actual, s.eng.Now())
 	}
 
-	complete := func(now sim.Time) {
-		s.copr.Update(lineAddr*config.LineSize, actual)
-		if s.checker != nil {
-			s.checker.OnReadComplete(lineAddr, actual, now)
-		}
-		done(now)
-	}
-
+	// Completion (predictor update + checker + caller callback) is a
+	// method, not a closure: the common correct-prediction paths call it
+	// straight from the DRAM Done callback, so the only closure built per
+	// read is that callback itself. The correction paths (misprediction,
+	// collision) wrap it in a closure, but those are rare by design —
+	// COPR's whole point is that they are.
 	if predicted {
 		// Fetch only the header-bearing sub-rank block.
 		s.submit(&dram.Request{Loc: loc, SubRanks: subRankFor(loc), Done: func(now sim.Time) {
 			if actual {
-				complete(now) // BLEM confirms: compressed, done.
+				// BLEM confirms: compressed, done.
+				s.completeAttacheRead(lineAddr, actual, done, now)
 				return
 			}
 			// Misprediction: BLEM classifies the block as uncompressed
 			// (or collided); fetch the remaining half, plus the RA bit
 			// on a collision.
 			s.Stats.CorrectionReads.Inc()
-			s.fetchRest(lineAddr, loc, collision, complete)
+			s.fetchRest(lineAddr, loc, collision, func(now sim.Time) {
+				s.completeAttacheRead(lineAddr, actual, done, now)
+			})
 		}})
 		return
 	}
@@ -135,11 +136,23 @@ func (s *System) issueAttacheRead(lineAddr uint64, done func(sim.Time)) {
 	s.submit(&dram.Request{Loc: loc, SubRanks: dram.SubRankBoth, Done: func(now sim.Time) {
 		if !actual && collision {
 			// XID says collision: the true data bit lives in the RA.
-			s.readRA(lineAddr, complete)
+			s.readRA(lineAddr, func(now sim.Time) {
+				s.completeAttacheRead(lineAddr, actual, done, now)
+			})
 			return
 		}
-		complete(now)
+		s.completeAttacheRead(lineAddr, actual, done, now)
 	}})
+}
+
+// completeAttacheRead finishes an Attaché read: train the predictor with
+// the ground truth, notify the oracle checker, and release the caller.
+func (s *System) completeAttacheRead(lineAddr uint64, actual bool, done func(sim.Time), now sim.Time) {
+	s.copr.Update(lineAddr*config.LineSize, actual)
+	if s.checker != nil {
+		s.checker.OnReadComplete(lineAddr, actual, now)
+	}
+	done(now)
 }
 
 // fetchRest issues the corrective second-half fetch (and RA read when the

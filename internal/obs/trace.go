@@ -100,7 +100,10 @@ func (t *Trace) ID() TraceID { return t.id }
 func (t *Trace) Now() time.Duration { return time.Since(t.begin) }
 
 // Record appends one span event. Nil-safe, so call sites can skip their
-// own nil checks only when they are on a hot path.
+// own nil checks only when they are on a hot path. Safe from any
+// goroutine: the engine records spans both from shard workers and from
+// submitter goroutines executing on the inline fast path, often
+// concurrently for one trace.
 func (t *Trace) Record(stage Stage, shard, ops int, start, end time.Duration) {
 	if t == nil {
 		return

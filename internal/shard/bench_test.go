@@ -64,34 +64,112 @@ func BenchmarkShardedThroughput(b *testing.B) {
 
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
-			e, err := New(core.DefaultOptions(), Config{Shards: shards})
+			benchShards(b, shards, batch, space, mkOps, line)
+		})
+	}
+}
+
+func benchShards(b *testing.B, shards, batch, space int, mkOps func(*rand.Rand, []byte) []Op, line []byte) {
+	e, err := New(core.DefaultOptions(), Config{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	for a := uint64(0); a < uint64(space/2); a++ {
+		if err := e.Write(a, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			res, err := e.Do(mkOps(rng, line))
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer e.Close()
-			for a := uint64(0); a < space/2; a++ {
-				if err := e.Write(a, line); err != nil {
-					b.Fatal(err)
+			for _, r := range res {
+				if r.Err != nil {
+					b.Fatal(r.Err)
 				}
 			}
-			var seed atomic.Int64
-			b.ReportAllocs()
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				rng := rand.New(rand.NewSource(seed.Add(1)))
-				for pb.Next() {
-					res, err := e.Do(mkOps(rng, line))
-					if err != nil {
+		}
+	})
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkSubmitLatency isolates the submission pipeline itself: tiny
+// fixed batches against a prefilled engine, so ns/op is dominated by
+// routing + handoff rather than compression work, and allocs/op is
+// exactly the envelope cost the pool is supposed to elide.
+//
+// The contended/uncontended axis is deterministic, not statistical:
+// "uncontended" engines take the inline fast path (idle shard, caller
+// executes), "contended" engines are built with the fast path disabled
+// so every task pays the full ring handoff — the same path a genuinely
+// busy shard would impose.
+func BenchmarkSubmitLatency(b *testing.B) {
+	line := make([]byte, core.LineSize)
+	mkBatch := func(n int) []Op {
+		ops := make([]Op, n)
+		for i := range ops {
+			a := uint64(i * 37)
+			if i%2 == 0 {
+				ops[i] = Op{Write: true, Addr: a, Data: line}
+			} else {
+				ops[i] = Op{Addr: a}
+			}
+		}
+		return ops
+	}
+	for _, mode := range []struct {
+		name     string
+		noInline bool
+	}{
+		{"uncontended", false},
+		{"contended", true},
+	} {
+		for _, n := range []int{1, 8} {
+			mk := func(b *testing.B) *Engine {
+				e, err := New(core.DefaultOptions(), Config{Shards: 4, noInline: mode.noInline})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for a := uint64(0); a < 512; a++ {
+					if err := e.Write(a, line); err != nil {
 						b.Fatal(err)
 					}
-					for _, r := range res {
-						if r.Err != nil {
-							b.Fatal(r.Err)
-						}
+				}
+				return e
+			}
+			b.Run(fmt.Sprintf("%s/ops%d/serial", mode.name, n), func(b *testing.B) {
+				e := mk(b)
+				defer e.Close()
+				ops := mkBatch(n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Do(ops); err != nil {
+						b.Fatal(err)
 					}
 				}
 			})
-			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "lines/s")
-		})
+			b.Run(fmt.Sprintf("%s/ops%d/parallel", mode.name, n), func(b *testing.B) {
+				e := mk(b)
+				defer e.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					ops := mkBatch(n)
+					for pb.Next() {
+						if _, err := e.Do(ops); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
 	}
 }

@@ -1,0 +1,378 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"attache/internal/core"
+)
+
+// TestInlineFastPathMatchesQueuedPath pins the central fast-path
+// contract: an engine that executes inline (uncontended submission) and
+// an engine forced through the ring handoff (noInline) produce
+// byte-identical results, identical in-batch ordering, and identical
+// statistics for the same deterministic op stream.
+func TestInlineFastPathMatchesQueuedPath(t *testing.T) {
+	type outcome struct {
+		data []byte
+		err  string
+	}
+	run := func(noInline bool) ([]outcome, Snapshot) {
+		e, err := New(core.DefaultOptions(), Config{Shards: 3, MaxLines: 1 << 16, noInline: noInline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		rng := rand.New(rand.NewSource(77))
+		var out []outcome
+		for iter := 0; iter < 60; iter++ {
+			n := 1 + rng.Intn(24)
+			ops := make([]Op, n)
+			for i := range ops {
+				a := uint64(rng.Intn(300))
+				switch {
+				case i%5 == 4:
+					// In-batch write-then-read of the same address: the
+					// read must observe the write regardless of path.
+					ops[i] = Op{Addr: ops[i-1].Addr}
+				case rng.Intn(2) == 0:
+					ops[i] = Op{Write: true, Addr: a, Data: testLine(a*31 + uint64(iter))}
+				default:
+					ops[i] = Op{Addr: a}
+				}
+			}
+			// Sprinkle in out-of-range ops: failure isolation must not
+			// depend on the path either.
+			if iter%7 == 0 {
+				ops[rng.Intn(n)] = Op{Addr: 1 << 20}
+			}
+			res, err := e.Do(ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range res {
+				o := outcome{data: append([]byte(nil), r.Data...)}
+				if r.Err != nil {
+					o.err = r.Err.Error()
+				}
+				out = append(out, o)
+			}
+		}
+		return out, e.StatsSnapshot()
+	}
+	inline, inlineSnap := run(false)
+	queued, queuedSnap := run(true)
+	if len(inline) != len(queued) {
+		t.Fatalf("result counts diverge: inline %d, queued %d", len(inline), len(queued))
+	}
+	for i := range inline {
+		if !bytes.Equal(inline[i].data, queued[i].data) {
+			t.Fatalf("op %d: inline data != queued data", i)
+		}
+		if inline[i].err != queued[i].err {
+			t.Fatalf("op %d: inline err %q, queued err %q", i, inline[i].err, queued[i].err)
+		}
+	}
+	if inlineSnap.Total != queuedSnap.Total {
+		t.Fatalf("stats diverge:\ninline %+v\nqueued %+v", inlineSnap.Total, queuedSnap.Total)
+	}
+}
+
+// TestInlineContendedSubmissionQueues forces real contention
+// deterministically: the test holds shard 0's execution lock (exactly
+// what a long-running drain would), so inline claims must fail and every
+// submission must take the ring. Releasing the lock lets the shard
+// goroutine drain, and every op must have landed exactly once, in order
+// per goroutine.
+func TestInlineContendedSubmissionQueues(t *testing.T) {
+	e, err := New(core.DefaultOptions(), Config{Shards: 1, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	w := e.shards[0]
+	w.memMu.Lock() // the shard is "busy": no submitter may execute inline
+
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := e.Do([]Op{{Write: true, Addr: uint64(g), Data: testLine(uint64(g) + 100)}})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			errs[g] = res[0].Err
+		}(g)
+	}
+	// All four submissions must end up queued — none may sneak past the
+	// held execution lock.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.qlen.Load() != goroutines {
+		if time.Now().After(deadline) {
+			w.memMu.Unlock()
+			t.Fatalf("queue depth = %d, want %d (inline path bypassed a busy shard?)", w.qlen.Load(), goroutines)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.memMu.Unlock()
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		data, err := e.Read(uint64(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, testLine(uint64(g)+100)) {
+			t.Fatalf("write %d lost through the contended path", g)
+		}
+	}
+	if sheds := e.StatsSnapshot().Robust.Sheds; sheds != 0 {
+		t.Fatalf("blocking Do shed %d ops under contention", sheds)
+	}
+}
+
+// TestInlineSubmitPathAllocationBudget pins the steady-state allocation
+// cost of the submit path itself, observer off: a Do with a caller-built
+// batch may allocate at most 1 beyond what core.Memory charges for the
+// same ops (the Result slice handed back), and the one-op convenience
+// wrappers at most 2 (plus their Op-slice literal). The envelope —
+// per-shard index lists, completion state, task — must come from the
+// pool.
+func TestInlineSubmitPathAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; absolute budgets only hold without -race")
+	}
+	mem, err := core.NewMemory(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(core.DefaultOptions(), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	line := testLine(9)
+	if err := mem.Write(3, line); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(3, line); err != nil {
+		t.Fatal(err)
+	}
+
+	memWrite := testing.AllocsPerRun(300, func() { mem.Write(3, line) })
+	memRead := testing.AllocsPerRun(300, func() { mem.Read(3) })
+
+	ops := []Op{{Write: true, Addr: 3, Data: line}}
+	doOverhead := testing.AllocsPerRun(300, func() {
+		if _, err := e.Do(ops); err != nil {
+			t.Fatal(err)
+		}
+	}) - memWrite
+	if doOverhead > 1.1 {
+		t.Fatalf("Do adds %.2f allocs/op over plain Memory, budget is 1 (the Result slice)", doOverhead)
+	}
+	writeOverhead := testing.AllocsPerRun(300, func() {
+		if err := e.Write(3, line); err != nil {
+			t.Fatal(err)
+		}
+	}) - memWrite
+	readOverhead := testing.AllocsPerRun(300, func() {
+		if _, err := e.Read(3); err != nil {
+			t.Fatal(err)
+		}
+	}) - memRead
+	if writeOverhead > 2.1 || readOverhead > 2.1 {
+		t.Fatalf("wrapper overhead = %.2f (write) / %.2f (read) allocs/op, budget is 2", writeOverhead, readOverhead)
+	}
+
+	// Batches must amortize: the envelope is per submission, not per op.
+	ops8 := make([]Op, 8)
+	for i := range ops8 {
+		ops8[i] = Op{Write: true, Addr: uint64(i), Data: line}
+	}
+	if _, err := e.Do(ops8); err != nil {
+		t.Fatal(err)
+	}
+	batchOverhead := testing.AllocsPerRun(300, func() {
+		if _, err := e.Do(ops8); err != nil {
+			t.Fatal(err)
+		}
+	}) - 8*memWrite
+	if batchOverhead > 1.1 {
+		t.Fatalf("8-op Do adds %.2f allocs over 8 plain writes, budget is 1 per batch", batchOverhead)
+	}
+}
+
+// TestShardDistributionBalanced pins shardFor's spread: over strided
+// address patterns (the pathological input for a modulo mapping), every
+// shard — including non-power-of-two counts — must land within 5% of a
+// perfectly even split.
+func TestShardDistributionBalanced(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 5, 6, 7, 8, 12} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			e, err := New(core.DefaultOptions(), Config{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			counts := make([]int, shards)
+			n := 0
+			for _, stride := range []uint64{1, 2, 3, 4, 5, 7, 8, 16, 64, 512, 4096} {
+				for i := uint64(0); i < 4096; i++ {
+					counts[e.shardFor(i*stride)]++
+					n++
+				}
+			}
+			mean := float64(n) / float64(shards)
+			for s, c := range counts {
+				dev := (float64(c) - mean) / mean
+				if dev < 0 {
+					dev = -dev
+				}
+				if dev > 0.05 {
+					t.Fatalf("shard %d holds %d of %d addrs (%.1f%% off an even split, tolerance 5%%)",
+						s, c, n, dev*100)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolReuseNoAliasing is the pool-correctness guard: overlapping
+// batches from racing goroutines, with faults and cancellations firing,
+// while every goroutine retains its previous Result slices and
+// re-verifies them after later submissions. A pooled envelope that
+// leaked into a result, or an index slice reused while still referenced,
+// shows up here as a retroactively mutated Result.
+func TestPoolReuseNoAliasing(t *testing.T) {
+	e, err := New(core.DefaultOptions(), Config{
+		Shards:     2,
+		QueueDepth: 4,
+		Faults:     FaultPlan{Seed: 11, ErrP: 0.05, PartialP: 0.05, DelayP: 0.02, Delay: 20 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	type retained struct {
+		res  []Result
+		data [][]byte // deep copies taken at return time
+		errs []string
+	}
+	snapshotOf := func(res []Result) retained {
+		r := retained{res: res, data: make([][]byte, len(res)), errs: make([]string, len(res))}
+		for i := range res {
+			if res[i].Data != nil {
+				r.data[i] = append([]byte(nil), res[i].Data...)
+			}
+			if res[i].Err != nil {
+				r.errs[i] = res[i].Err.Error()
+			}
+		}
+		return r
+	}
+	verify := func(r retained) error {
+		for i := range r.res {
+			if !bytes.Equal(r.res[i].Data, r.data[i]) {
+				return fmt.Errorf("result %d data mutated after return (pool aliasing)", i)
+			}
+			got := ""
+			if r.res[i].Err != nil {
+				got = r.res[i].Err.Error()
+			}
+			if got != r.errs[i] {
+				return fmt.Errorf("result %d error mutated after return: %q -> %q", i, r.errs[i], got)
+			}
+		}
+		return nil
+	}
+
+	const goroutines = 6
+	const iters = 150
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 31))
+			var held []retained
+			for i := 0; i < iters; i++ {
+				n := 1 + rng.Intn(12)
+				ops := make([]Op, n)
+				for j := range ops {
+					a := uint64(rng.Intn(256)) // shared range: batches overlap across goroutines
+					if rng.Intn(2) == 0 {
+						ops[j] = Op{Write: true, Addr: a, Data: testLine(a + uint64(g*1000+i))}
+					} else {
+						ops[j] = Op{Addr: a}
+					}
+				}
+				var res []Result
+				var err error
+				if rng.Intn(4) == 0 {
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(50))*time.Microsecond)
+					res, err = e.DoCtx(ctx, ops)
+					cancel()
+				} else {
+					res, err = e.Do(ops)
+				}
+				if err != nil {
+					if errors.Is(err, context.DeadlineExceeded) {
+						continue
+					}
+					errc <- fmt.Errorf("g%d iter %d: %v", g, i, err)
+					return
+				}
+				if len(res) != len(ops) {
+					errc <- fmt.Errorf("g%d iter %d: %d results for %d ops", g, i, len(res), len(ops))
+					return
+				}
+				for j := range res {
+					if res[j].Data != nil && res[j].Err != nil {
+						errc <- fmt.Errorf("g%d iter %d op %d: torn result (data and error)", g, i, j)
+						return
+					}
+					if ops[j].Write && res[j].Data != nil {
+						errc <- fmt.Errorf("g%d iter %d op %d: write returned data", g, i, j)
+						return
+					}
+				}
+				held = append(held, snapshotOf(res))
+				if len(held) > 4 {
+					held = held[1:]
+				}
+				// Everything returned earlier must still read exactly as it
+				// did the moment it was returned.
+				for _, h := range held {
+					if err := verify(h); err != nil {
+						errc <- fmt.Errorf("g%d iter %d: %v", g, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

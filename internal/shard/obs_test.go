@@ -132,8 +132,12 @@ func TestUnsampledPathAllocationFree(t *testing.T) {
 		return e
 	}
 	line := make([]byte, core.LineSize)
-	measure := func(e *Engine) float64 {
-		ops := []Op{{Write: true, Addr: 3, Data: line}}
+	single := []Op{{Write: true, Addr: 3, Data: line}}
+	batch := make([]Op, 8)
+	for i := range batch {
+		batch[i] = Op{Write: true, Addr: uint64(i * 131), Data: line}
+	}
+	measure := func(e *Engine, ops []Op) float64 {
 		return testing.AllocsPerRun(200, func() {
 			if _, err := e.Do(ops); err != nil {
 				t.Fatal(err)
@@ -145,9 +149,15 @@ func TestUnsampledPathAllocationFree(t *testing.T) {
 	unsampled := mk(obs.New(obs.Config{SampleRate: 0, Seed: 1}))
 	defer unsampled.Close()
 
-	base, withObs := measure(plain), measure(unsampled)
-	if withObs > base {
-		t.Fatalf("unsampled observer path allocates %.1f/op vs %.1f/op without observer", withObs, base)
+	// The whole submit path — routing, inline execution, envelope pooling
+	// — must cost the same with an idle observer, for single ops and for
+	// batches.
+	for _, ops := range [][]Op{single, batch} {
+		base, withObs := measure(plain, ops), measure(unsampled, ops)
+		if withObs > base {
+			t.Fatalf("unsampled observer path allocates %.1f per %d-op Do vs %.1f without observer",
+				withObs, len(ops), base)
+		}
 	}
 }
 

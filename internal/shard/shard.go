@@ -1,7 +1,6 @@
 // Package shard provides the concurrent entry point to the Attaché
 // functional memory: an N-way address-sharded pool of core.Memory
-// instances, each owned by a single goroutine fed through a batched
-// request pipeline.
+// instances fed through a low-overhead submission pipeline.
 //
 // The design follows the shape CRAM and the CXL-pooling line of work give
 // compressed memory — a shared pool behind a request interface:
@@ -12,24 +11,34 @@
 //     framework (its own CID, scrambler key, and COPR predictor), exactly
 //     as the paper's per-controller state would be replicated across
 //     memory controllers.
-//   - Pipeline: callers submit batches of ops; the engine splits a batch
-//     by shard, enqueues one task per touched shard, and the per-shard
-//     goroutine applies the ops back-to-back — the hot path takes no
-//     locks around the Memory itself, because ownership is exclusive.
+//   - Inline fast path: when a shard is uncontended (its execution lock
+//     is free and its ring is empty), the submitter applies that shard's
+//     ops on its own goroutine — no handoff, no wakeup, no allocation.
+//     This is the software analogue of the paper's thesis: the per-access
+//     metadata cost (here, a channel send and a goroutine switch per op)
+//     is elided entirely on the common path, not merely parallelized.
+//   - Batched ring: when a shard is busy, tasks land in a mutex-guarded
+//     power-of-two ring with a single coalescing wake signal; the shard
+//     goroutine drains the whole backlog per wakeup, so one handoff
+//     amortizes across every queued task.
 //   - Stats: each shard mutates only its own Memory's counters. Snapshot
-//     routes a marker through every pipeline so each shard publishes a
-//     coherent core.StatsSnapshot, then merges them with Accumulate —
-//     lock-free aggregation by ownership rather than by atomics.
+//     claims each shard's execution lock (or routes a marker through its
+//     ring) so every shard publishes a coherent core.StatsSnapshot, then
+//     merges them with Accumulate — aggregation by ownership rather than
+//     by atomics.
 //
 // core.Memory itself is not safe for concurrent use; this package is how
 // concurrent callers (cmd/attached, tests, user code via
-// attache.NewEngine) get at it.
+// attache.NewEngine) get at it. Exclusive ownership is enforced by each
+// shard's execution lock: either the shard goroutine (draining the ring)
+// or one inline submitter holds it, never both.
 package shard
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,9 +56,9 @@ type Config struct {
 	// Shards is the number of independent Memory shards (and goroutines).
 	// 0 defaults to GOMAXPROCS.
 	Shards int
-	// QueueDepth is the per-shard pipeline buffer: how many submitted
-	// tasks a shard can hold before backpressure kicks in. Do blocks on a
-	// full queue; DoCtx sheds instead, failing the shard's ops with
+	// QueueDepth is the per-shard ring buffer: how many submitted tasks a
+	// shard can hold before backpressure kicks in. Do blocks on a full
+	// ring; DoCtx sheds instead, failing the shard's ops with
 	// core.ErrOverloaded. 0 defaults to 64.
 	QueueDepth int
 	// MaxLines, when non-zero, bounds the line address space: ops at
@@ -63,8 +72,14 @@ type Config struct {
 	// observer's sample rate) get enqueue/dequeue/execute/respond spans
 	// recorded, decomposing latency into queue wait vs. service time.
 	// nil (the default) costs one branch per submission and zero
-	// allocations.
+	// allocations. Spans survive the inline fast path: an inline-executed
+	// task records the same four stages with a ~zero queue wait.
 	Obs *obs.Observer
+
+	// noInline disables the inline fast path, forcing every task through
+	// the ring and the shard goroutine — the deterministic "contended"
+	// configuration used by tests and benchmarks to pin the handoff path.
+	noInline bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,13 +114,16 @@ type Result struct {
 
 // task is one shard's slice of a submitted batch, or (when snap is
 // non-nil) a stats-snapshot marker flowing through the same pipeline so
-// it serializes against in-flight ops. ctx is non-nil only for DoCtx
-// submissions; the worker checks it once per task so a cancelled task
-// frees its queue slot without executing.
+// it serializes against in-flight ops. ops is the submitter's full batch
+// and idx the positions owned by this shard; both are borrowed, never
+// copied — the submitter blocks until done fires, so sharing is safe and
+// the steady-state path allocates nothing. ctx is non-nil only for DoCtx
+// submissions; execution checks it once per task so a cancelled task
+// frees its ring slot without executing.
 type task struct {
 	ctx  context.Context
 	ops  []Op
-	idx  []int // positions of ops in the caller's batch / result slice
+	idx  []int // positions of this shard's ops in ops / res
 	res  []Result
 	snap *core.StatsSnapshot
 	done *sync.WaitGroup
@@ -115,6 +133,16 @@ type task struct {
 	// are zero on the untraced path.
 	tr  *obs.Trace
 	enq time.Duration
+}
+
+// submitState is the reusable per-submission envelope: the per-shard
+// index lists and the completion WaitGroup. Pooled per engine so the
+// steady-state submit path performs zero envelope allocations; it is
+// returned to the pool only after done.Wait(), when no worker can still
+// reference its slices.
+type submitState struct {
+	perShard [][]int
+	done     sync.WaitGroup
 }
 
 // robustCounters are the engine-level degradation counters: everything
@@ -130,7 +158,7 @@ type robustCounters struct {
 // RobustStats is the exported snapshot of the degradation counters.
 type RobustStats struct {
 	// Sheds counts ops rejected with ErrOverloaded because their shard's
-	// queue was full at DoCtx admission.
+	// ring was full at DoCtx admission.
 	Sheds uint64 `json:"sheds"`
 	// Canceled counts ops that returned a context error: expired or
 	// cancelled while queued, skipped without executing.
@@ -141,87 +169,214 @@ type RobustStats struct {
 	InjectedDelays uint64 `json:"injected_delays"`
 }
 
-// worker owns one shard: one Memory, one goroutine, one queue, and (when
-// fault injection is on) one seeded injector. inflight and lastBatch are
-// the shard's queue telemetry, maintained unconditionally (two atomic
-// ops per task, no allocation) so Engine.Gauges always has live data.
+// worker owns one shard: one Memory, one goroutine, one ring, and (when
+// fault injection is on) one seeded injector.
+//
+// Two locks with distinct roles: memMu is the execution right — whoever
+// holds it (the shard goroutine draining the ring, or a submitter on the
+// inline fast path) owns mem exclusively; mu guards the ring state and
+// the condition variable blocked submitters wait on. The only path that
+// holds both is the drain loop (memMu outermost), so the pair cannot
+// deadlock. inflight and lastBatch are the shard's queue telemetry,
+// maintained unconditionally (two atomic ops per task, no allocation) so
+// Engine.Gauges always has live data.
 type worker struct {
 	id     int
 	mem    *core.Memory
-	reqs   chan task
 	inj    *injector
 	robust *robustCounters
 
+	memMu sync.Mutex // execution right over mem (drain loop or inline submitter)
+
+	mu          sync.Mutex
+	cond        sync.Cond // ring space freed, or Close fired
+	ring        []task    // power-of-two circular buffer
+	mask        uint64
+	head        uint64 // ring[head&mask] is the next task to pop
+	tail        uint64 // ring[tail&mask] is the next free slot
+	depth       uint64 // admission cap (Config.QueueDepth)
+	interrupted bool   // Close fired: blocked admits abandon with ErrClosed
+	stopped     bool   // no enqueue can ever arrive again: drain and exit
+
+	wake chan struct{} // cap-1 doorbell: the ring went non-empty
+
+	qlen      atomic.Int64 // tasks currently in the ring
 	inflight  atomic.Int64 // op tasks admitted but not yet completed
-	lastBatch atomic.Int64 // ops in the most recently dequeued task
+	lastBatch atomic.Int64 // ops in the most recently executed task
 }
 
+// push appends t to the ring. Callers hold w.mu and have checked space.
+func (w *worker) push(t task) {
+	w.ring[w.tail&w.mask] = t
+	w.tail++
+	w.qlen.Add(1)
+}
+
+// signal rings the worker's doorbell; a full buffer means a wakeup is
+// already pending, which covers this push too.
+func (w *worker) signal() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// admit pushes t with Do's blocking backpressure: a full ring waits for
+// space. Reports false when Close interrupts the wait instead.
+func (w *worker) admit(t task) bool {
+	w.mu.Lock()
+	for w.tail-w.head >= w.depth {
+		if w.interrupted {
+			w.mu.Unlock()
+			return false
+		}
+		w.cond.Wait()
+	}
+	w.push(t)
+	w.mu.Unlock()
+	w.signal()
+	return true
+}
+
+// tryAdmit pushes t only if the ring has space — DoCtx's shed-on-full
+// admission control.
+func (w *worker) tryAdmit(t task) bool {
+	w.mu.Lock()
+	if w.tail-w.head >= w.depth {
+		w.mu.Unlock()
+		return false
+	}
+	w.push(t)
+	w.mu.Unlock()
+	w.signal()
+	return true
+}
+
+// admitAlways pushes t, waiting out a full ring even during Close — used
+// by StatsSnapshot markers, which must reach the shard as long as its
+// goroutine is alive (guaranteed while the submitter holds the engine's
+// read lock).
+func (w *worker) admitAlways(t task) {
+	w.mu.Lock()
+	for w.tail-w.head >= w.depth {
+		w.cond.Wait()
+	}
+	w.push(t)
+	w.mu.Unlock()
+	w.signal()
+}
+
+// run is the shard goroutine: sleep on the doorbell, drain the whole
+// backlog, exit once Close has guaranteed no further enqueues and the
+// ring is empty.
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
-	for t := range w.reqs {
-		if t.snap != nil {
-			*t.snap = w.mem.StatsSnapshot()
+	for {
+		<-w.wake
+		w.drain()
+		w.mu.Lock()
+		exit := w.stopped && w.head == w.tail
+		w.mu.Unlock()
+		if exit {
+			return
+		}
+	}
+}
+
+// drain claims the execution right once and applies every queued task —
+// the amortization that replaces a per-task channel handoff. Popping a
+// task frees its ring slot immediately (before execution), so blocked
+// submitters make progress while the batch runs.
+func (w *worker) drain() {
+	if w.qlen.Load() == 0 {
+		return
+	}
+	w.memMu.Lock()
+	for {
+		w.mu.Lock()
+		if w.head == w.tail {
+			w.mu.Unlock()
+			break
+		}
+		t := w.ring[w.head&w.mask]
+		w.ring[w.head&w.mask] = task{} // drop borrowed slices promptly
+		w.head++
+		w.qlen.Add(-1)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		w.execute(&t)
+	}
+	w.memMu.Unlock()
+}
+
+// execute applies one admitted task against the shard's memory. The
+// caller holds w.memMu. Snapshot markers publish and return; op tasks
+// honor cancellation, fault injection, and span recording exactly the
+// same way whether they arrived through the ring or the inline path.
+func (w *worker) execute(t *task) {
+	if t.snap != nil {
+		*t.snap = w.mem.StatsSnapshot()
+		t.done.Done()
+		return
+	}
+	w.lastBatch.Store(int64(len(t.idx)))
+	if t.tr != nil {
+		// The dequeue span is the queue wait: enqueue instant → now.
+		// Inline tasks record it too (≈zero), so timelines stay balanced.
+		t.tr.Record(obs.StageDequeue, w.id, len(t.idx), t.enq, t.tr.Now())
+	}
+	// A task whose context died while it sat in the ring is skipped
+	// wholesale: the slot was already freed, the memory is untouched, and
+	// every op reports the context's error.
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			for _, j := range t.idx {
+				t.res[j].Err = err
+			}
+			w.robust.canceled.Add(uint64(len(t.idx)))
+			w.inflight.Add(-1)
 			t.done.Done()
-			continue
+			return
 		}
-		w.lastBatch.Store(int64(len(t.idx)))
-		if t.tr != nil {
-			// The dequeue span is the queue wait: enqueue instant → now.
-			t.tr.Record(obs.StageDequeue, w.id, len(t.idx), t.enq, t.tr.Now())
-		}
-		// A task whose context died while it sat in the queue is skipped
-		// wholesale: the slot is freed without touching the memory, and
-		// every op reports the context's error.
-		if t.ctx != nil {
-			if err := t.ctx.Err(); err != nil {
-				for _, j := range t.idx {
-					t.res[j].Err = err
-				}
-				w.robust.canceled.Add(uint64(len(t.idx)))
-				w.inflight.Add(-1)
-				t.done.Done()
+	}
+	var x0 time.Duration
+	if t.tr != nil {
+		x0 = t.tr.Now()
+	}
+	cut := len(t.idx)
+	if w.inj != nil {
+		cut = w.inj.cut(cut)
+	}
+	for i, j := range t.idx {
+		if w.inj != nil {
+			if i >= cut {
+				t.res[j].Err = fmt.Errorf("shard: batch died at op %d of %d: %w", i, len(t.idx), ErrFaultInjected)
+				w.robust.injectedErrs.Add(1)
+				continue
+			}
+			delayed, err := w.inj.op()
+			if delayed {
+				w.robust.injectedDelays.Add(1)
+			}
+			if err != nil {
+				t.res[j].Err = fmt.Errorf("shard: op at %#x: %w", t.ops[j].Addr, err)
+				w.robust.injectedErrs.Add(1)
 				continue
 			}
 		}
-		var x0 time.Duration
-		if t.tr != nil {
-			x0 = t.tr.Now()
+		op := t.ops[j]
+		if op.Write {
+			t.res[j].Err = w.mem.Write(op.Addr, op.Data)
+		} else {
+			t.res[j].Data, t.res[j].Err = w.mem.Read(op.Addr)
 		}
-		cut := len(t.idx)
-		if w.inj != nil {
-			cut = w.inj.cut(cut)
-		}
-		for i, j := range t.idx {
-			if w.inj != nil {
-				if i >= cut {
-					t.res[j].Err = fmt.Errorf("shard: batch died at op %d of %d: %w", i, len(t.idx), ErrFaultInjected)
-					w.robust.injectedErrs.Add(1)
-					continue
-				}
-				delayed, err := w.inj.op()
-				if delayed {
-					w.robust.injectedDelays.Add(1)
-				}
-				if err != nil {
-					t.res[j].Err = fmt.Errorf("shard: op at %#x: %w", t.ops[i].Addr, err)
-					w.robust.injectedErrs.Add(1)
-					continue
-				}
-			}
-			op := t.ops[i]
-			if op.Write {
-				t.res[j].Err = w.mem.Write(op.Addr, op.Data)
-			} else {
-				t.res[j].Data, t.res[j].Err = w.mem.Read(op.Addr)
-			}
-		}
-		if t.tr != nil {
-			// The execute span is the service time on this shard.
-			t.tr.Record(obs.StageExecute, w.id, len(t.idx), x0, t.tr.Now())
-		}
-		w.inflight.Add(-1)
-		t.done.Done()
 	}
+	if t.tr != nil {
+		// The execute span is the service time on this shard.
+		t.tr.Record(obs.StageExecute, w.id, len(t.idx), x0, t.tr.Now())
+	}
+	w.inflight.Add(-1)
+	t.done.Done()
 }
 
 // Engine is the sharded concurrent compressed-memory pool. All methods
@@ -232,11 +387,8 @@ type Engine struct {
 	sramBytes int
 	robust    robustCounters
 	obs       *obs.Observer // nil = tracing off
+	states    sync.Pool     // *submitState envelopes, reused across submissions
 
-	// stop is closed at the start of Close, before the submission lock is
-	// taken: it interrupts submitters blocked on full queues so Close
-	// never waits behind backpressure (those ops fail with ErrClosed).
-	stop    chan struct{}
 	closing atomic.Bool
 
 	mu     sync.RWMutex // guards closed vs. submissions; not on the per-shard hot path
@@ -258,7 +410,14 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 	if err := cfg.Faults.validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards), stop: make(chan struct{}), obs: cfg.Obs}
+	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards), obs: cfg.Obs}
+	e.states.New = func() any {
+		return &submitState{perShard: make([][]int, cfg.Shards)}
+	}
+	ringLen := uint64(1)
+	for ringLen < uint64(cfg.QueueDepth) {
+		ringLen <<= 1
+	}
 	for i := range e.shards {
 		o := opts
 		// Shard 0 keeps the caller's seed exactly (single-shard results
@@ -270,25 +429,36 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.sramBytes += mem.Framework().StorageOverheadBytes()
-		e.shards[i] = &worker{
+		w := &worker{
 			id:     i,
 			mem:    mem,
-			reqs:   make(chan task, cfg.QueueDepth),
+			ring:   make([]task, ringLen),
+			mask:   ringLen - 1,
+			depth:  uint64(cfg.QueueDepth),
+			wake:   make(chan struct{}, 1),
 			inj:    newInjector(cfg.Faults, i),
 			robust: &e.robust,
 		}
+		w.cond.L = &w.mu
+		e.shards[i] = w
 		e.wg.Add(1)
-		go e.shards[i].run(&e.wg)
+		go w.run(&e.wg)
 	}
 	return e, nil
 }
 
-// shardFor maps a line address to its owning shard. The multiply-xor mix
-// keeps strided address patterns from piling onto one shard.
+// shardFor maps a line address to its owning shard: the splitmix64
+// finalizer gives full avalanche over strided address patterns, then a
+// multiply-shift (Lemire) reduction maps the mixed value to [0, shards)
+// without the modulo bias — and without the hardware divide — that a
+// plain `%` pays when the shard count is not a power of two.
 func (e *Engine) shardFor(addr uint64) int {
-	x := addr * 0x9E3779B97F4A7C15
-	x ^= x >> 32
-	return int(x % uint64(len(e.shards)))
+	x := addr + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	hi, _ := bits.Mul64(x, uint64(len(e.shards)))
+	return int(hi)
 }
 
 // Shards reports the configured shard count.
@@ -298,17 +468,16 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // predictor tables and CID register.
 func (e *Engine) StorageOverheadBytes() int { return e.sramBytes }
 
-// Gauges reads each shard's live queue telemetry: queue depth (tasks
-// buffered in the pipeline channel), in-flight count (tasks admitted
-// but not yet completed), and the size of the last dequeued batch.
-// Lock-free and safe at any time; feed it to obs.PollGauges for a
-// periodic signal.
+// Gauges reads each shard's live queue telemetry: ring depth (tasks
+// buffered waiting for the shard), in-flight count (tasks admitted but
+// not yet completed), and the size of the last executed batch. Lock-free
+// and safe at any time; feed it to obs.PollGauges for a periodic signal.
 func (e *Engine) Gauges() []obs.ShardGauge {
 	out := make([]obs.ShardGauge, len(e.shards))
 	for i, w := range e.shards {
 		out[i] = obs.ShardGauge{
 			Shard:        i,
-			QueueDepth:   len(w.reqs),
+			QueueDepth:   int(w.qlen.Load()),
 			InFlight:     w.inflight.Load(),
 			LastBatchOps: w.lastBatch.Load(),
 		}
@@ -320,14 +489,15 @@ func (e *Engine) Gauges() []obs.ShardGauge {
 // returning results in submission order. Failures are isolated per op.
 // Do itself errors only when the engine is closed.
 //
-// A full shard queue applies backpressure: Do blocks until the shard
+// A full shard ring applies backpressure: Do blocks until the shard
 // drains (or Close interrupts the wait, failing the unsent ops with
 // ErrClosed per op). For deadline-aware submission and load shedding use
 // DoCtx.
 //
 // Ops for the same shard are applied in batch order; ops for different
 // shards run concurrently. Two racing Do calls that touch the same
-// address are serialized by that address's shard, in channel order.
+// address are serialized by that address's shard, in admission order
+// (inline claims and ring order).
 func (e *Engine) Do(ops []Op) ([]Result, error) {
 	return e.submit(nil, ops)
 }
@@ -336,7 +506,7 @@ func (e *Engine) Do(ops []Op) ([]Result, error) {
 //
 //   - An already-expired or cancelled ctx returns (nil, ctx.Err())
 //     immediately — nothing is enqueued, nothing executes.
-//   - Admission is non-blocking: a full shard queue sheds that shard's
+//   - Admission is non-blocking: a full shard ring sheds that shard's
 //     ops with core.ErrOverloaded per op instead of waiting. Shed ops
 //     were never enqueued and had no effect.
 //   - If ctx dies while a task is queued, the owning shard skips the
@@ -344,7 +514,7 @@ func (e *Engine) Do(ops []Op) ([]Result, error) {
 //     ctx.Err() per op.
 //
 // Ops that were already enqueued when ctx expires still complete if the
-// worker reaches them first; DoCtx always waits for enqueued tasks to be
+// shard reaches them first; DoCtx always waits for enqueued tasks to be
 // resolved one way or the other, so results are never torn.
 func (e *Engine) DoCtx(ctx context.Context, ops []Op) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
@@ -355,6 +525,13 @@ func (e *Engine) DoCtx(ctx context.Context, ops []Op) ([]Result, error) {
 
 // submit routes ops to their shards. ctx == nil selects Do's blocking
 // backpressure; a non-nil ctx selects DoCtx's shed-on-full admission.
+//
+// Per shard, admission takes the inline fast path when the shard is
+// uncontended: claim the execution lock, verify the ring is empty, and
+// apply the ops right here on the submitting goroutine — zero handoff,
+// zero allocation. A busy shard falls back to the ring. The steady-state
+// cost of a submission is therefore one Result-slice allocation; the
+// index lists and completion WaitGroup come from the engine's pool.
 func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 	res := make([]Result, len(ops))
 	if len(ops) == 0 {
@@ -375,7 +552,11 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 			owned = true
 		}
 	}
-	perShard := make([][]int, len(e.shards))
+	st := e.states.Get().(*submitState)
+	perShard := st.perShard
+	for i := range perShard {
+		perShard[i] = perShard[i][:0]
+	}
 	for i, op := range ops {
 		if e.cfg.MaxLines > 0 && op.Addr >= e.cfg.MaxLines {
 			res[i].Err = fmt.Errorf("shard: addr %#x beyond configured capacity %d: %w",
@@ -389,9 +570,9 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
+		e.states.Put(st)
 		return nil, ErrClosed
 	}
-	var done sync.WaitGroup
 	closing := false
 	for s, idx := range perShard {
 		if len(idx) == 0 {
@@ -402,48 +583,58 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 			markAll(res, idx, fmt.Errorf("shard: shard %d: submit interrupted by Close: %w", s, ErrClosed))
 			continue
 		}
-		sub := make([]Op, len(idx))
-		for k, j := range idx {
-			sub[k] = ops[j]
-		}
-		t := task{ctx: ctx, ops: sub, idx: idx, res: res, done: &done}
+		w := e.shards[s]
+		t := task{ctx: ctx, ops: ops, idx: idx, res: res, done: &st.done}
 		if tr != nil {
 			t.tr = tr
 			t.enq = tr.Now()
 		}
-		done.Add(1)
+		st.done.Add(1)
+		if !e.cfg.noInline && w.memMu.TryLock() {
+			if w.qlen.Load() == 0 {
+				// Inline fast path: the shard is idle and we hold its
+				// execution right — run the ops here, no handoff.
+				w.inflight.Add(1)
+				if tr != nil {
+					tr.Record(obs.StageEnqueue, s, len(idx), t.enq, t.enq)
+				}
+				w.execute(&t)
+				w.memMu.Unlock()
+				continue
+			}
+			// Tasks are queued ahead of us; keep FIFO, use the ring.
+			w.memMu.Unlock()
+		}
 		sent := false
 		if ctx == nil {
-			select {
-			case e.shards[s].reqs <- t:
+			if w.admit(t) {
 				sent = true
-			case <-e.stop:
-				done.Done()
+			} else {
+				st.done.Done()
 				closing = true
 				markAll(res, idx, fmt.Errorf("shard: shard %d: submit interrupted by Close: %w", s, ErrClosed))
 			}
 		} else {
-			select {
-			case e.shards[s].reqs <- t:
+			if w.tryAdmit(t) {
 				sent = true
-			default:
-				done.Done()
+			} else {
+				st.done.Done()
 				e.robust.sheds.Add(uint64(len(idx)))
 				markAll(res, idx, fmt.Errorf("shard: shard %d queue full (depth %d): %w",
 					s, e.cfg.QueueDepth, core.ErrOverloaded))
 			}
 		}
 		if sent {
-			e.shards[s].inflight.Add(1)
+			w.inflight.Add(1)
 			if tr != nil {
 				// Enqueue is recorded only for tasks that actually entered
-				// a queue, so shed submissions never leave a dangling span.
+				// a ring, so shed submissions never leave a dangling span.
 				tr.Record(obs.StageEnqueue, s, len(idx), t.enq, t.enq)
 			}
 		}
 	}
 	e.mu.RUnlock()
-	done.Wait()
+	st.done.Wait()
 	if tr != nil {
 		now := tr.Now()
 		tr.Record(obs.StageRespond, -1, len(ops), now, now)
@@ -451,6 +642,8 @@ func (e *Engine) submit(ctx context.Context, ops []Op) ([]Result, error) {
 			e.obs.Finish(tr)
 		}
 	}
+	// Every task has completed; no worker references the envelope now.
+	e.states.Put(st)
 	return res, nil
 }
 
@@ -535,10 +728,11 @@ type Snapshot struct {
 	Robust RobustStats `json:"robust"`
 }
 
-// StatsSnapshot captures a coherent per-shard snapshot by routing a
-// marker through every shard's pipeline (so it serializes against
-// in-flight ops) and merges the results. After Close it reads the idle
-// shards directly, so a final post-drain snapshot still works.
+// StatsSnapshot captures a coherent per-shard snapshot: an idle shard is
+// read directly under its execution lock; a busy one gets a marker
+// routed through its ring so the snapshot serializes against in-flight
+// ops. After Close it reads the idle shards directly, so a final
+// post-drain snapshot still works.
 func (e *Engine) StatsSnapshot() Snapshot {
 	snap := Snapshot{
 		PerShard:  make([]core.StatsSnapshot, len(e.shards)),
@@ -560,9 +754,17 @@ func (e *Engine) StatsSnapshot() Snapshot {
 		}
 	} else {
 		var done sync.WaitGroup
-		done.Add(len(e.shards))
 		for i, w := range e.shards {
-			w.reqs <- task{snap: &snap.PerShard[i], done: &done}
+			if w.memMu.TryLock() {
+				if w.qlen.Load() == 0 {
+					snap.PerShard[i] = w.mem.StatsSnapshot()
+					w.memMu.Unlock()
+					continue
+				}
+				w.memMu.Unlock()
+			}
+			done.Add(1)
+			w.admitAlways(task{snap: &snap.PerShard[i], done: &done})
 		}
 		e.mu.RUnlock()
 		done.Wait()
@@ -573,9 +775,9 @@ func (e *Engine) StatsSnapshot() Snapshot {
 	return snap
 }
 
-// Close drains every shard's pipeline and stops the shard goroutines.
+// Close drains every shard's ring and stops the shard goroutines.
 // In-flight and queued ops complete; subsequent submissions fail with
-// ErrClosed. A Do blocked on a full queue when Close fires is
+// ErrClosed. A Do blocked on a full ring when Close fires is
 // interrupted: its unsent ops fail with ErrClosed per op instead of
 // holding the caller (and Close) hostage behind backpressure. Close is
 // idempotent: the first call drains, later calls report ErrClosed.
@@ -583,16 +785,26 @@ func (e *Engine) Close() error {
 	if !e.closing.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	// Interrupt submitters blocked in backpressure sends first; only then
-	// can the write lock be acquired (submitters hold the read lock for
-	// the duration of their sends).
-	close(e.stop)
+	// Interrupt submitters blocked on full rings first; only then can the
+	// write lock be acquired (blocked submitters hold the read lock while
+	// they wait for ring space).
+	for _, w := range e.shards {
+		w.mu.Lock()
+		w.interrupted = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
 	e.mu.Lock()
 	e.closed = true
-	for _, w := range e.shards {
-		close(w.reqs)
-	}
 	e.mu.Unlock()
+	// No submitter can admit past this point (they all observe closed);
+	// tell the shard goroutines to finish the backlog and exit.
+	for _, w := range e.shards {
+		w.mu.Lock()
+		w.stopped = true
+		w.mu.Unlock()
+		w.signal()
+	}
 	e.wg.Wait()
 	return nil
 }

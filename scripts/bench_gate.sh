@@ -12,6 +12,12 @@
 #     deterministic — the epsilon only absorbs iteration-count jitter
 #     in benches whose per-op figure amortizes setup; a real leak adds
 #     at least one alloc per op, orders of magnitude above it.
+#   - time/op more than BENCH_GATE_IMPROVE_TOL percent FASTER (default
+#     25). An unexpected improvement is either a real win that belongs
+#     in the baseline (re-pin it so the gate keeps guarding the new
+#     level instead of tolerating a slide back to the old one) or a
+#     broken benchmark that stopped measuring the work. Either way the
+#     gate should not wave it through silently.
 #
 # Also writes BENCH_5.json (name, ns/op, allocs/op per benchmark) for CI
 # artifact upload, and prints a benchstat comparison when benchstat is
@@ -20,7 +26,7 @@
 # Refresh the baseline (deliberately, on the machine the gate will run
 # on — time/op does not transfer between machines):
 #
-#	UPDATE=1 ./scripts/bench_gate.sh
+#	UPDATE=1 ./scripts/bench_gate.sh    # or: make bench-pin
 #
 # allocs/op transfers fine; when gating on a different machine than the
 # baseline's, raise BENCH_GATE_TIME_TOL rather than trusting raw ns.
@@ -37,6 +43,7 @@ json="${BENCH_JSON:-BENCH_5.json}"
 count="${BENCH_COUNT:-5}"
 time_tol="${BENCH_GATE_TIME_TOL:-10}"
 alloc_tol="${BENCH_GATE_ALLOC_TOL:-0.2}"
+improve_tol="${BENCH_GATE_IMPROVE_TOL:-25}"
 
 current="${TMPDIR:-/tmp}/attache-bench.$$.txt"
 trap 'rm -f "$current"' EXIT
@@ -44,7 +51,7 @@ trap 'rm -f "$current"' EXIT
 echo "bench gate: running benchmarks (count=$count)..."
 {
 	go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchmem -count="$count" .
-	go test -run '^$' -bench 'BenchmarkShardedThroughput$' -benchmem -count="$count" ./internal/shard
+	go test -run '^$' -bench 'BenchmarkShardedThroughput$|BenchmarkSubmitLatency$' -benchmem -count="$count" ./internal/shard
 } | tee "$current"
 
 # summarize: min ns/op and mean allocs/op per benchmark, with the
@@ -96,7 +103,7 @@ if command -v benchstat >/dev/null 2>&1; then
 	benchstat "$baseline" "$current" || true
 fi
 
-awk -v time_tol="$time_tol" -v alloc_tol="$alloc_tol" '
+awk -v time_tol="$time_tol" -v alloc_tol="$alloc_tol" -v improve_tol="$improve_tol" '
 	NR == FNR { base_ns[$1] = $2; base_al[$1] = $3; next }
 	{
 		if (!($1 in base_ns)) {
@@ -107,6 +114,10 @@ awk -v time_tol="$time_tol" -v alloc_tol="$alloc_tol" '
 		printf "bench gate:      %-50s %12.0f ns/op (%+6.1f%%) %10.1f allocs/op (base %.1f)\n", $1, $2, dns, $3, base_al[$1]
 		if (dns > time_tol) {
 			printf "bench gate: FAIL %s time/op regressed %.1f%% (tolerance %s%%)\n", $1, dns, time_tol
+			bad = 1
+		}
+		if (dns < -improve_tol) {
+			printf "bench gate: FAIL %s time/op improved %.1f%% past tolerance %s%% — re-pin the baseline (UPDATE=1 or make bench-pin) so the gate guards the new level\n", $1, -dns, improve_tol
 			bad = 1
 		}
 		if ($3 > base_al[$1] * (1 + alloc_tol / 100) + 0.5) {
