@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate bench-pin fmt vet
+.PHONY: build test race bench bench-gate bench-pin fmt vet scenarios scenarios-update
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ bench-gate:
 # with the change that moved the numbers.
 bench-pin:
 	UPDATE=1 ./scripts/bench_gate.sh
+
+# Run every preset workload scenario against its golden behavioral
+# profile (internal/workload/testdata/golden/).
+scenarios:
+	$(GO) test ./internal/workload -count=1 -run 'TestScenarioGolden' -v
+
+# Regenerate the golden profiles after an intentional behavior change;
+# commit the diff together with the change and a justification.
+scenarios-update:
+	$(GO) test ./internal/workload -count=1 -run 'TestScenarioGolden' -update
 
 fmt:
 	gofmt -l -w .

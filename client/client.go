@@ -364,6 +364,14 @@ func (c *Client) Do(ctx context.Context, ops []attache.Op) ([]attache.Result, er
 	return out, nil
 }
 
+// DoCtx is Do under the method name the sharded Engine exposes, so a
+// *Client satisfies the same batch-submission shape as an in-process
+// engine (loadgen.Target): harnesses and replay tooling drive either
+// interchangeably.
+func (c *Client) DoCtx(ctx context.Context, ops []attache.Op) ([]attache.Result, error) {
+	return c.Do(ctx, ops)
+}
+
 // opErr maps a per-op error message from the daemon back onto the typed
 // sentinels, so batch callers can errors.Is without parsing strings.
 func opErr(msg string) error {

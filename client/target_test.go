@@ -1,0 +1,9 @@
+package client
+
+import (
+	"attache/internal/loadgen"
+)
+
+// The HTTP client is a loadgen.Target in its own right — cmd/attacheload
+// drives scenarios and replays straight through it, no adapter.
+var _ loadgen.Target = (*Client)(nil)

@@ -18,6 +18,15 @@
 // mounted unless -pprof=false; per-shard queue-depth gauges are polled
 // every -gauge-interval and exported at /metrics and /v1/stats.
 //
+// Record/replay: -record captures every op the data endpoints offer to
+// the engine as a versioned NDJSON trace (tracev1) — in submission
+// order, before admission, payloads included — so one live session can
+// be replayed later, byte-deterministically, as a regression workload:
+//
+//	go run ./cmd/attached -record capture.ndjson
+//	... traffic ...
+//	go run ./cmd/attacheload -replay capture.ndjson
+//
 // SIGTERM/SIGINT starts a graceful drain: the listener stops accepting,
 // in-flight requests finish (bounded by -shutdown-timeout), the engine's
 // pipelines drain, and the daemon logs a final stats snapshot.
@@ -37,6 +46,7 @@ import (
 	"attache"
 	"attache/internal/obs"
 	"attache/internal/serve"
+	"attache/internal/workload"
 )
 
 func main() {
@@ -55,6 +65,7 @@ func main() {
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain on SIGTERM")
 		maxBatch        = flag.Int("max-batch", 4096, "max ops per /v1/batch request")
 		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
+		record          = flag.String("record", "", "capture offered ops to this tracev1 NDJSON file for later -replay")
 
 		// Observability knobs.
 		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error (access logs for 2xx log at debug)")
@@ -111,7 +122,17 @@ func main() {
 		log.Fatalf("attached: %v", err)
 	}
 
-	srv := serve.New(eng, serve.Config{
+	var recorder *workload.TraceWriter
+	var recordFile *os.File
+	if *record != "" {
+		recordFile, err = os.Create(*record)
+		if err != nil {
+			log.Fatalf("attached: -record: %v", err)
+		}
+		recorder = workload.NewTraceWriter(recordFile)
+	}
+
+	cfg := serve.Config{
 		Addr:            *addr,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
@@ -122,7 +143,11 @@ func main() {
 		Obs:             observer,
 		EnablePprof:     *pprof,
 		GaugeInterval:   *gaugeInterval,
-	})
+	}
+	if recorder != nil {
+		cfg.Record = recorder
+	}
+	srv := serve.New(eng, cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -135,6 +160,16 @@ func main() {
 			"trace_sample", *traceSample, "pprof", *pprof)
 	}()
 	err = srv.ListenAndServe(ctx)
+
+	if recorder != nil {
+		if ferr := recorder.Flush(); ferr != nil {
+			logger.Warn("record capture incomplete", "path", *record, "err", ferr)
+		}
+		if cerr := recordFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		logger.Info("capture written", "path", *record, "events", recorder.Events())
+	}
 
 	snap := eng.StatsSnapshot().Total
 	logger.Info("drained",

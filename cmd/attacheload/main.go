@@ -15,6 +15,20 @@
 //
 //	go run ./cmd/attacheload -seed 42 -fault-err 0.05 -fault-delay 0.05
 //
+// Workload scenarios: -scenario runs one of the named generative preset
+// workloads (multi-client arrival processes, rate envelopes, and
+// per-scenario address/payload generators — see -list-scenarios) instead
+// of the flat seeded plan:
+//
+//	go run ./cmd/attacheload -scenario zipfian-hot-page -events 5000
+//
+// Replay: -replay re-offers a tracev1 NDJSON capture (recorded by
+// attached -record, or exported by any tool speaking the format) in its
+// original op order; -pace additionally honors the recorded arrival
+// offsets, turning a capture into an open-loop load profile:
+//
+//	go run ./cmd/attacheload -replay capture.ndjson -pace
+//
 // The report covers throughput, per-kind latency quantiles, shed rate,
 // and the full error taxonomy; -json emits it as one JSON object.
 // -trace-queue-wait threads a pipeline trace through every event
@@ -41,15 +55,8 @@ import (
 	"attache/client"
 	"attache/internal/loadgen"
 	"attache/internal/obs"
-	"attache/internal/shard"
+	"attache/internal/workload"
 )
-
-// clientTarget adapts the HTTP client to loadgen.Target for -target mode.
-type clientTarget struct{ c *client.Client }
-
-func (t clientTarget) DoCtx(ctx context.Context, ops []shard.Op) ([]shard.Result, error) {
-	return t.c.Do(ctx, ops)
-}
 
 func main() {
 	var (
@@ -65,6 +72,10 @@ func main() {
 		opTimeout   = flag.Duration("op-timeout", 0, "per-event deadline (0 = none)")
 		prefill     = flag.Int("prefill", 0, "lines to prefill (0 = space/2, -1 = none)")
 		target      = flag.String("target", "", "drive a running attached daemon at this base URL instead of an in-process engine")
+		scenario    = flag.String("scenario", "", "run a named generative workload scenario (see -list-scenarios)")
+		listScen    = flag.Bool("list-scenarios", false, "list the preset workload scenarios and exit")
+		replay      = flag.String("replay", "", "replay a tracev1 NDJSON capture (from attached -record) instead of generating a plan")
+		pace        = flag.Bool("pace", false, "honor scenario/replay arrival offsets (open-loop at the recorded times)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
 		logLevel    = flag.String("log-level", "warn", "harness log level: debug, info, warn, error")
 		queueWait   = flag.Bool("trace-queue-wait", false, "trace every event through the engine pipeline and report per-kind queue-wait quantiles (in-process targets only)")
@@ -81,6 +92,16 @@ func main() {
 		faultPartial  = flag.Float64("fault-partial", 0, "per-batch partial-failure probability [0,1]")
 	)
 	flag.Parse()
+
+	if *listScen {
+		for _, name := range workload.Names() {
+			fmt.Printf("%-22s %s\n", name, workload.Describe(name))
+		}
+		return
+	}
+	if *scenario != "" && *replay != "" {
+		log.Fatal("attacheload: -scenario and -replay are mutually exclusive")
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -101,7 +122,51 @@ func main() {
 		Rate:           *rate,
 		OpTimeout:      *opTimeout,
 		Prefill:        *prefill,
+		Pace:           *pace,
 		TraceQueueWait: *queueWait,
+	}
+
+	// Scenario and replay modes bring their own event sequences; both
+	// run through loadgen.RunEvents instead of the flat plan.
+	var preplanned []loadgen.Event
+	switch {
+	case *scenario != "":
+		spec, err := workload.Preset(*scenario, *seed, *events)
+		if err != nil {
+			log.Fatalf("attacheload: %v", err)
+		}
+		preplanned, err = workload.Compose(spec)
+		if err != nil {
+			log.Fatalf("attacheload: %v", err)
+		}
+		// The scenario owns the shape of the space and its baseline
+		// residency; explicit -space/-prefill still win when given.
+		if *space == 1<<16 {
+			cfg.AddrSpace = spec.AddrSpace
+		}
+		if *prefill == 0 {
+			cfg.Prefill = spec.Prefill
+		}
+		cfg.PrefillPayload = workload.PrefillPayload(spec)
+		logger.Info("scenario", "name", spec.Name, "events", len(preplanned),
+			"clients", len(spec.Clients), "addr_space", cfg.AddrSpace, "prefill", cfg.Prefill)
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatalf("attacheload: %v", err)
+		}
+		preplanned, err = workload.DecodeTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("attacheload: %v", err)
+		}
+		// A capture already contains its own writes; default to no
+		// prefill so the replayed run is exactly the recorded load.
+		if *prefill == 0 {
+			cfg.Prefill = -1
+		}
+		logger.Info("replay", "path", *replay, "events", len(preplanned),
+			"op_checksum", workload.OpChecksum(preplanned))
 	}
 
 	var tgt loadgen.Target
@@ -110,7 +175,7 @@ func main() {
 			logger.Warn("trace-queue-wait ignored: traces do not cross the HTTP boundary", "target", *target)
 			cfg.TraceQueueWait = false
 		}
-		tgt = clientTarget{c: client.New(*target, client.WithMaxRetries(0))}
+		tgt = client.New(*target, client.WithMaxRetries(0))
 	} else {
 		opts := []attache.Option{
 			attache.WithShards(*shards),
@@ -139,7 +204,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	rep, err := loadgen.Run(ctx, tgt, cfg)
+	var rep loadgen.Report
+	if preplanned != nil {
+		rep, err = loadgen.RunEvents(ctx, tgt, cfg, preplanned)
+	} else {
+		rep, err = loadgen.Run(ctx, tgt, cfg)
+	}
 	if err != nil {
 		log.Fatalf("attacheload: %v", err)
 	}

@@ -62,12 +62,21 @@ type Config struct {
 	// Rate is the open-loop arrival rate in events/second. 0 means no
 	// pacing: workers fire events back to back.
 	Rate float64
+	// Pace makes RunEvents honor each event's At offset even when Rate
+	// is 0 — the knob for replaying a recorded capture (or a composed
+	// workload scenario) at its original arrival times. Ignored by Run,
+	// whose plans only carry offsets when Rate > 0.
+	Pace bool
 	// OpTimeout, when non-zero, wraps each event in a deadline.
 	OpTimeout time.Duration
 	// Prefill writes this many lines (addresses 0..Prefill-1) before the
 	// measured run so reads mostly hit written lines. 0 defaults to
 	// AddrSpace/2, capped at 1<<16; negative disables prefill.
 	Prefill int
+	// PrefillPayload, when non-nil, builds the prefill lines instead of
+	// the default mixed generator — so a scenario's baseline residency
+	// matches its traffic's compressibility (internal/workload sets it).
+	PrefillPayload func(addr uint64) []byte
 	// TraceQueueWait attaches a pipeline trace to every event so the
 	// report can split event latency into queue wait vs. service time
 	// (Report.QueueWait). Only meaningful against an in-process engine
@@ -301,12 +310,22 @@ type workerTally struct {
 // concurrency or target behavior.
 func Run(ctx context.Context, target Target, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
+	return RunEvents(ctx, target, cfg, Plan(cfg))
+}
+
+// RunEvents executes an explicit event sequence — a composed workload
+// scenario or a decoded tracev1 capture — against target, with the same
+// prefill, concurrency, reporting, and determinism contract as Run.
+// Arrival offsets are honored when cfg.Rate > 0 or cfg.Pace is set;
+// otherwise workers fire events back to back.
+func RunEvents(ctx context.Context, target Target, cfg Config, events []Event) (Report, error) {
+	cfg = cfg.withDefaults()
 	if cfg.Prefill > 0 {
 		if err := prefill(ctx, target, cfg); err != nil {
 			return Report{}, fmt.Errorf("loadgen: prefill: %w", err)
 		}
 	}
-	events := Plan(cfg)
+	paced := cfg.Rate > 0 || cfg.Pace
 
 	var next atomic.Int64
 	tallies := make([]workerTally, cfg.Concurrency)
@@ -326,7 +345,7 @@ func Run(ctx context.Context, target Target, cfg Config) (Report, error) {
 					return
 				}
 				ev := events[i]
-				if cfg.Rate > 0 {
+				if paced {
 					// Open loop: fire at the scheduled offset; if we are
 					// behind, fire immediately and let latency absorb it.
 					if wait := ev.At - time.Since(start); wait > 0 {
@@ -424,7 +443,12 @@ func prefill(ctx context.Context, target Target, cfg Config) error {
 		ops := make([]shard.Op, n)
 		for i := range ops {
 			addr := uint64(base + i)
-			ops[i] = shard.Op{Write: true, Addr: addr, Data: payload(addr, 0)}
+			data := cfg.PrefillPayload
+			if data != nil {
+				ops[i] = shard.Op{Write: true, Addr: addr, Data: data(addr)}
+			} else {
+				ops[i] = shard.Op{Write: true, Addr: addr, Data: payload(addr, 0)}
+			}
 		}
 		// Plain retry loop: prefill must land even on a lossy target.
 		for attempt := 0; ; attempt++ {

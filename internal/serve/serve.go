@@ -19,6 +19,13 @@
 // access logs (Debug for 2xx, Info for 4xx, Warn for 5xx) and periodic
 // per-shard queue gauges.
 //
+// With Config.Record set, every op batch the data endpoints offer to
+// the engine is captured — in submission order, shed or not — through a
+// Recorder (canonically workload.TraceWriter, the tracev1 NDJSON
+// format), so one recorded session becomes a deterministic replay
+// workload: attached -record capture.ndjson, then
+// attacheload -replay capture.ndjson.
+//
 // Failures map to status codes by sentinel: ErrNeverWritten -> 404,
 // ErrBadLineSize / ErrOutOfRange -> 400, ErrOverloaded -> 429 (with a
 // Retry-After hint), context.DeadlineExceeded -> 504, ErrClosed -> 503.
@@ -77,6 +84,14 @@ type Config struct {
 	// X-Attache-Trace propagation, the /v1/trace endpoints, slog access
 	// logs, and periodic queue gauges. nil disables all of it.
 	Obs *obs.Observer
+	// Record, when non-nil, captures every op batch the data endpoints
+	// offer to the engine — reads, writes, and batches, in submission
+	// order, before admission — so real daemon traffic can be replayed
+	// later as a regression workload (attacheload -replay). The daemon
+	// wires a workload.TraceWriter here (-record); anything with the
+	// same method works. Ops that are shed or fail are still recorded:
+	// a capture is the offered load, not the accepted load.
+	Record Recorder
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default; cmd/attached turns it on unless -pprof=false.
 	EnablePprof bool
@@ -99,6 +114,15 @@ func (c Config) withDefaults() Config {
 		c.MaxBodyBytes = 8 << 20
 	}
 	return c
+}
+
+// Recorder receives every op batch offered to the engine by the /v1
+// data endpoints, in submission order. Implementations must be safe for
+// concurrent use and must copy what they keep: the ops (and their
+// payloads) are borrowed from the request. workload.TraceWriter is the
+// canonical implementation (the tracev1 NDJSON capture format).
+type Recorder interface {
+	RecordOps(ops []shard.Op)
 }
 
 // Server serves one shard.Engine over HTTP.
@@ -391,6 +415,9 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "missing addr"})
 		return
 	}
+	if s.cfg.Record != nil {
+		s.cfg.Record.RecordOps([]shard.Op{{Addr: *req.Addr}})
+	}
 	data, err := s.eng.ReadCtx(r.Context(), *req.Addr)
 	if err != nil {
 		s.writeErr(w, err)
@@ -407,6 +434,9 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	if req.Addr == nil {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "missing addr"})
 		return
+	}
+	if s.cfg.Record != nil {
+		s.cfg.Record.RecordOps([]shard.Op{{Write: true, Addr: *req.Addr, Data: req.Data}})
 	}
 	if err := s.eng.WriteCtx(r.Context(), *req.Addr, req.Data); err != nil {
 		s.writeErr(w, err)
@@ -493,6 +523,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		default:
 			results[i].Error = fmt.Sprintf("unknown op %q (want read or write)", op.Op)
 		}
+	}
+	if s.cfg.Record != nil && len(ops) > 0 {
+		s.cfg.Record.RecordOps(ops)
 	}
 	res, err := s.eng.DoCtx(r.Context(), ops)
 	if err != nil {

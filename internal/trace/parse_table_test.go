@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTraceTable is the exhaustive table-driven pass over the text
+// trace grammar — one case per documented feature and per rejection:
+// op-mnemonic aliases and casing, hex vs. decimal addresses,
+// line-address conversion, default and explicit gaps, comment and blank
+// lines, and every malformed shape with the substring its error must
+// carry.
+func TestParseTraceTable(t *testing.T) {
+	type access struct {
+		lineAddr uint64
+		store    bool
+		gap      int64
+	}
+	cases := []struct {
+		name  string
+		input string
+		want  []access // nil means a parse error is expected
+		// wantErrSub must appear in the error for rejection cases.
+		wantErrSub string
+	}{
+		{
+			name:  "read aliases",
+			input: "R 64\nL 64\nLD 64\nREAD 64\nread 64\n",
+			want: []access{
+				{1, false, 1}, {1, false, 1}, {1, false, 1}, {1, false, 1}, {1, false, 1},
+			},
+		},
+		{
+			name:  "write aliases",
+			input: "W 128\nS 128\nST 128\nWRITE 128\nwrite 128\n",
+			want: []access{
+				{2, true, 1}, {2, true, 1}, {2, true, 1}, {2, true, 1}, {2, true, 1},
+			},
+		},
+		{
+			name:  "hex and decimal addresses agree",
+			input: "R 0x1000\nR 4096\nR 0X1000\n",
+			want:  []access{{64, false, 1}, {64, false, 1}, {64, false, 1}},
+		},
+		{
+			name:  "byte address maps to line address",
+			input: "R 0\nR 63\nR 64\nR 65\n",
+			want:  []access{{0, false, 1}, {0, false, 1}, {1, false, 1}, {1, false, 1}},
+		},
+		{
+			name:  "default gap is 1, explicit gap honored",
+			input: "R 0x40\nW 0x40 250\n",
+			want:  []access{{1, false, 1}, {1, true, 250}},
+		},
+		{
+			name:  "comments and blank lines skipped",
+			input: "# header comment\n\nR 64\n   \n# trailing comment\nW 128 2\n",
+			want:  []access{{1, false, 1}, {2, true, 2}},
+		},
+		{
+			name:  "whitespace tolerant",
+			input: "   R\t0x40   3  \n",
+			want:  []access{{1, false, 3}},
+		},
+		{
+			name:       "empty trace rejected",
+			input:      "# only comments\n\n",
+			wantErrSub: "empty trace",
+		},
+		{
+			name:       "missing address",
+			input:      "R\n",
+			wantErrSub: "want 'R|W addr [gap]'",
+		},
+		{
+			name:       "too many fields",
+			input:      "R 64 1 surplus\n",
+			wantErrSub: "want 'R|W addr [gap]'",
+		},
+		{
+			name:       "unknown mnemonic",
+			input:      "FETCH 64\n",
+			wantErrSub: `unknown op "FETCH"`,
+		},
+		{
+			name:       "unparseable address",
+			input:      "R 0xzz\n",
+			wantErrSub: "bad address",
+		},
+		{
+			name:       "negative address",
+			input:      "R -64\n",
+			wantErrSub: "bad address",
+		},
+		{
+			name:       "zero gap rejected",
+			input:      "R 64 0\n",
+			wantErrSub: "bad gap",
+		},
+		{
+			name:       "negative gap rejected",
+			input:      "R 64 -3\n",
+			wantErrSub: "bad gap",
+		},
+		{
+			name:       "non-numeric gap rejected",
+			input:      "R 64 soon\n",
+			wantErrSub: "bad gap",
+		},
+		{
+			name:       "error names offending line",
+			input:      "R 64\nR 128\nbogus line here\n",
+			wantErrSub: "line 3",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ft, err := ParseTrace(strings.NewReader(tc.input))
+			if tc.want == nil {
+				if err == nil {
+					t.Fatal("malformed trace accepted")
+				}
+				if !strings.Contains(err.Error(), tc.wantErrSub) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErrSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ft.Len() != len(tc.want) {
+				t.Fatalf("parsed %d accesses, want %d", ft.Len(), len(tc.want))
+			}
+			for i, w := range tc.want {
+				a := ft.Next()
+				if a.LineAddr != w.lineAddr || a.Store != w.store || a.Gap != w.gap {
+					t.Fatalf("access %d: got {line %d, store %v, gap %d}, want {line %d, store %v, gap %d}",
+						i, a.LineAddr, a.Store, a.Gap, w.lineAddr, w.store, w.gap)
+				}
+			}
+		})
+	}
+}

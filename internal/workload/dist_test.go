@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Distribution-fit tests: the arrival samplers must actually draw from
+// the distributions they claim (Kolmogorov–Smirnov against the closed-
+// form CDFs) and the zipf address generator must match its power law
+// (chi-square). Seeds are fixed, so these are deterministic regression
+// tests, not flaky statistics: the thresholds are the α=0.001 critical
+// values, far above what a correct sampler produces at this n.
+
+const distSamples = 20000
+
+// ksStatistic computes the one-sample KS distance between samples and a
+// reference CDF.
+func ksStatistic(samples []float64, cdf func(float64) float64) float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// gammaP is the regularized lower incomplete gamma P(k, x) — the
+// Gamma(k, 1) CDF — via the standard series (x < k+1) and continued-
+// fraction (x >= k+1) expansions.
+func gammaP(k, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(k)
+	if x < k+1 {
+		// Series: P(k,x) = x^k e^-x / Γ(k) · Σ x^n / (k(k+1)...(k+n)).
+		ap := k
+		sum := 1 / k
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-14 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+k*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(k,x) = 1 - P(k,x), modified Lentz.
+	const tiny = 1e-300
+	b := x + 1 - k
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - k)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return 1 - math.Exp(-x+k*math.Log(x)-lg)*h
+}
+
+// TestGammaPSanity anchors the test-local CDF itself before it judges
+// the samplers: P(1,x) must equal 1-e^-x.
+func TestGammaPSanity(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := gammaP(1, x); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("gammaP(1,%g) = %.12f, want %.12f", x, got, want)
+		}
+	}
+	// P(k, k) is near the median for moderate k.
+	if p := gammaP(3, 3); p < 0.5 || p > 0.65 {
+		t.Fatalf("gammaP(3,3) = %g, want ~0.58", p)
+	}
+}
+
+// TestInterArrivalDistributions: KS goodness-of-fit for every arrival
+// process sampleGap supports, plus a mean check — all three
+// distributions are normalized to mean 1/Rate by construction.
+func TestInterArrivalDistributions(t *testing.T) {
+	cases := []struct {
+		name    string
+		arrival Arrival
+		cdf     func(float64) float64
+	}{
+		{
+			"poisson-exponential",
+			Arrival{Process: Poisson, Rate: 1},
+			func(x float64) float64 { return 1 - math.Exp(-x) },
+		},
+		{
+			"gamma-shape-3",
+			Arrival{Process: GammaProc, Rate: 1, Shape: 3},
+			// Gamma(k=3, θ=1/3): P(3, 3x).
+			func(x float64) float64 { return gammaP(3, 3*x) },
+		},
+		{
+			"gamma-shape-0.3-bursty",
+			Arrival{Process: GammaProc, Rate: 1, Shape: 0.3},
+			func(x float64) float64 { return gammaP(0.3, 0.3*x) },
+		},
+		{
+			"weibull-shape-0.6-heavy-tail",
+			Arrival{Process: WeibullProc, Rate: 1, Shape: 0.6},
+			func(x float64) float64 {
+				scale := 1 / math.Gamma(1+1/0.6)
+				return 1 - math.Exp(-math.Pow(x/scale, 0.6))
+			},
+		},
+		{
+			"weibull-shape-2-regular",
+			Arrival{Process: WeibullProc, Rate: 1, Shape: 2},
+			func(x float64) float64 {
+				scale := 1 / math.Gamma(1+1/2.0)
+				return 1 - math.Exp(-math.Pow(x/scale, 2))
+			},
+		},
+	}
+	// α=0.001 KS critical value: 1.95/√n.
+	threshold := 1.95 / math.Sqrt(distSamples)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(12345))
+			samples := make([]float64, distSamples)
+			mean := 0.0
+			for i := range samples {
+				samples[i] = sampleGap(rng, tc.arrival)
+				mean += samples[i]
+			}
+			mean /= distSamples
+			if d := ksStatistic(samples, tc.cdf); d > threshold {
+				t.Fatalf("KS statistic %.5f exceeds α=0.001 threshold %.5f: sampler does not match its CDF", d, threshold)
+			}
+			if mean < 0.93 || mean > 1.07 {
+				t.Fatalf("sample mean %.4f, want ~1.0 (all processes normalize to 1/Rate)", mean)
+			}
+		})
+	}
+}
+
+// TestSampleGapDeterminism: the gap stream is a pure function of the RNG
+// seed — identical across replays, distinct across seeds.
+func TestSampleGapDeterminism(t *testing.T) {
+	draw := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]float64, 256)
+		for i := range out {
+			out[i] = sampleGap(rng, Arrival{Process: GammaProc, Rate: 1000, Shape: 0.3})
+		}
+		return out
+	}
+	a, b, c := draw(7), draw(7), draw(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d diverged across same-seed replays: %g vs %g", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced an identical gap stream")
+	}
+}
+
+// TestZipfPageChiSquare: the zipf address generator's page-visit
+// frequencies must match p(k) ∝ (1+k)^-s. Top pages are tested
+// individually, the tail pooled, chi-square at α=0.001.
+func TestZipfPageChiSquare(t *testing.T) {
+	const (
+		space     = 1 << 14
+		pageLines = 64
+		s         = 1.2
+		n         = 50000
+	)
+	pages := uint64(space / pageLines)
+	rng := rand.New(rand.NewSource(424242))
+	gen := newAddrGen(AddrPattern{Kind: AddrZipf, ZipfS: s, PageLines: pageLines}, space, rng)
+
+	counts := make([]float64, pages)
+	for i := 0; i < n; i++ {
+		addr := gen.next(rng)
+		counts[addr/pageLines]++
+	}
+
+	// Expected page probabilities: rand.NewZipf(r, s, 1, imax) draws k in
+	// [0,imax] with p(k) ∝ (1+k)^-s.
+	probs := make([]float64, pages)
+	total := 0.0
+	for k := range probs {
+		probs[k] = math.Pow(1+float64(k), -s)
+		total += probs[k]
+	}
+	for k := range probs {
+		probs[k] /= total
+	}
+
+	// Bins: the 10 hottest pages individually, everything else pooled.
+	const head = 10
+	chi2 := 0.0
+	tailObs, tailExp := 0.0, 0.0
+	for k := uint64(0); k < pages; k++ {
+		exp := probs[k] * n
+		if k < head {
+			chi2 += (counts[k] - exp) * (counts[k] - exp) / exp
+		} else {
+			tailObs += counts[k]
+			tailExp += exp
+		}
+	}
+	chi2 += (tailObs - tailExp) * (tailObs - tailExp) / tailExp
+	// 11 bins ⇒ 10 degrees of freedom; χ²(10, α=0.001) = 29.59.
+	if chi2 > 29.59 {
+		t.Fatalf("chi-square %.2f exceeds χ²(10, 0.001)=29.59: zipf page skew does not match (1+k)^-%g", chi2, s)
+	}
+	// The skew must actually be skewed: page 0 dominates the coldest head page.
+	if counts[0] < 4*counts[head-1] {
+		t.Fatalf("page 0 saw %v visits vs page %d's %v — hot-page skew missing", counts[0], head-1, counts[head-1])
+	}
+}
+
+// TestStreamChaseGenerators: the stream generator strides and wraps; the
+// chase generator is a dependent chain (same walk from the same start).
+func TestStreamChaseGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := &streamGen{cur: 5, stride: 3, space: 8}
+	want := []uint64{5, 0, 3, 6, 1}
+	for i, w := range want {
+		if got := g.next(rng); got != w {
+			t.Fatalf("stream step %d: got %d, want %d", i, got, w)
+		}
+	}
+	c1 := &chaseGen{cur: 77, space: 1 << 12}
+	c2 := &chaseGen{cur: 77, space: 1 << 12}
+	for i := 0; i < 64; i++ {
+		if a, b := c1.next(rng), c2.next(rng); a != b {
+			t.Fatalf("chase step %d diverged from identical start: %d vs %d", i, a, b)
+		}
+	}
+}

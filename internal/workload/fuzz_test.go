@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceV1Decode pins two properties of the tracev1 codec:
+//
+//  1. No input panics the decoder — malformed traces are errors.
+//  2. Decoding is normalizing: whatever DecodeTrace accepts,
+//     re-encoding and re-decoding it is the identity. This is what lets
+//     a capture be rewritten (filtered, truncated) by third-party tools
+//     and still replay identically.
+//
+// The checked-in corpus under testdata/fuzz/FuzzTraceV1Decode/ keeps the
+// interesting shapes (valid traces, near-misses) regression-tested on
+// every plain `go test` run; CI's fuzz-smoke job additionally explores
+// from them.
+func FuzzTraceV1Decode(f *testing.F) {
+	f.Add([]byte(`{"format":"attache-trace","version":1}` + "\n"))
+	f.Add([]byte(`{"format":"attache-trace","version":1}` + "\n" +
+		`{"at":0,"ops":[{"a":42}]}` + "\n"))
+	f.Add([]byte(`{"format":"attache-trace","version":1}` + "\n" +
+		`{"at":152340,"ops":[{"a":1},{"w":true,"a":7,"d":"QUJDREVGR0g="}]}` + "\n"))
+	f.Add([]byte(`{"format":"attache-trace","version":2}` + "\n"))
+	f.Add([]byte(`{"at":0,"ops":[{"a":1}]}` + "\n"))
+	f.Add([]byte(`{"format":"attache-trace","version":1}` + "\n" +
+		`{"at":-5,"ops":[{"a":1}]}` + "\n"))
+	f.Add([]byte(`{"format":"attache-trace","version":1}` + "\n" +
+		`{"at":0,"ops":[]}` + "\n"))
+	f.Add([]byte(`{"format":"attache-trace","version":1}` + "\n" +
+		`{"at":0,"ops":[{"a":1,"d":"QQ=="}]}` + "\n"))
+	f.Add([]byte("\xff\xfe not json at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var out bytes.Buffer
+		if err := EncodeTrace(&out, events); err != nil {
+			t.Fatalf("accepted events failed to re-encode: %v", err)
+		}
+		again, err := DecodeTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatalf("decode∘encode is not the identity:\nfirst:  %#v\nsecond: %#v", events, again)
+		}
+		if OpChecksum(events) != OpChecksum(again) {
+			t.Fatal("op checksum changed across a round trip")
+		}
+	})
+}

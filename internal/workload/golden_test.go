@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"context"
+	"flag"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the per-scenario golden profiles under testdata/golden/")
+
+// goldenSeed pins the scenario seed for the checked-in profiles; the
+// goldens are fingerprints of (scenario, seed, engine), so it never
+// changes casually.
+const goldenSeed = 42
+
+// TestScenarioGolden runs every preset scenario end to end against a
+// fresh deterministic engine and diffs its behavioral profile —
+// checksums, counts, error taxonomy, compression/predictor/bandwidth
+// metrics, latency structure — against the checked-in golden. Run with
+// -update after an intentional behavior change:
+//
+//	go test ./internal/workload -run TestScenarioGolden -update
+//
+// and commit the refreshed fixtures with a justification; an unchanged
+// tree regenerates byte-identical files.
+func TestScenarioGolden(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := Preset(name, goldenSeed, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MeasureProfile(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *updateGolden {
+				if err := WriteProfile(path, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (checksum %s, op checksum %s)", path, got.Checksum, got.OpChecksum)
+				return
+			}
+			want, err := ReadProfile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if err := CompareProfile(got, want, DefaultProfileTolerance()); err != nil {
+				t.Fatalf("scenario %s drifted from its golden profile: %v\n(intentional? regenerate with -update and commit the diff)", name, err)
+			}
+		})
+	}
+}
+
+// TestMeasureProfileDeterministic: the full measurement pipeline —
+// compose, prefill, sequential run, stats snapshot — is replayable:
+// two fresh engines produce identical profiles.
+func TestMeasureProfileDeterministic(t *testing.T) {
+	spec, err := Preset("streaming", 7, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MeasureProfile(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureProfile(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.OpChecksum != b.OpChecksum {
+		t.Fatalf("checksums diverged across identical measurements: %s/%s vs %s/%s",
+			a.Checksum, a.OpChecksum, b.Checksum, b.OpChecksum)
+	}
+	if a.Ops != b.Ops || a.OpsOK != b.OpsOK || a.Events != b.Events {
+		t.Fatalf("counts diverged: %d/%d/%d vs %d/%d/%d", a.Events, a.Ops, a.OpsOK, b.Events, b.Ops, b.OpsOK)
+	}
+	if a.CompressionRatio != b.CompressionRatio || a.PredictorAccuracy != b.PredictorAccuracy ||
+		a.BandwidthSavings != b.BandwidthSavings || a.ShedRate != b.ShedRate {
+		t.Fatalf("engine metrics diverged across identical measurements:\n%+v\n%+v", a, b)
+	}
+	for k, v := range a.LatencyCounts {
+		if b.LatencyCounts[k] != v {
+			t.Fatalf("latency count[%s] diverged: %d vs %d", k, v, b.LatencyCounts[k])
+		}
+	}
+	for k, v := range a.Errors {
+		if b.Errors[k] != v {
+			t.Fatalf("error taxonomy[%s] diverged: %d vs %d", k, v, b.Errors[k])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// A preset is a named scenario builder: given a seed and a total event
+// budget it yields a fully-specified Spec. Presets are keyed to memory
+// behavior, not to applications — each one isolates one compressibility
+// × locality × burstiness corner the engine must keep handling.
+type preset struct {
+	desc  string
+	build func(seed int64, events int) Spec
+}
+
+var presets = map[string]preset{
+	// streaming: sequential array scan, highly compressible payloads,
+	// steady Poisson arrivals. The predictor's easiest case (uniform
+	// pages) and compression's best case.
+	"streaming": {
+		desc: "sequential scan, compressible array payloads, steady Poisson arrivals",
+		build: func(seed int64, events int) Spec {
+			return Spec{
+				Name: "streaming", Seed: seed, AddrSpace: 1 << 13, Prefill: 1 << 13,
+				Clients: []ClientSpec{{
+					Name: "scanner", Events: events,
+					Arrival: Arrival{Process: Poisson, Rate: 2000},
+					Mix:     Mix{ReadWeight: 4, WriteWeight: 1, BatchWeight: 1, BatchSize: 16},
+					Addr:    AddrPattern{Kind: AddrStream, Stride: 1},
+					Payload: PayloadCompressible,
+				}},
+			}
+		},
+	},
+	// pointer-chasing: dependent random walk with pointer-run payloads
+	// and machine-regular Gamma(3) pacing. No page locality, so COPR
+	// leans on its global/line components rather than page history.
+	"pointer-chasing": {
+		desc: "dependent pseudo-random walk, pointer-run payloads, regular Gamma(3) pacing",
+		build: func(seed int64, events int) Spec {
+			return Spec{
+				Name: "pointer-chasing", Seed: seed, AddrSpace: 1 << 13, Prefill: 1 << 13,
+				Clients: []ClientSpec{{
+					Name: "chaser", Events: events,
+					Arrival: Arrival{Process: GammaProc, Rate: 1500, Shape: 3},
+					Mix:     Mix{ReadWeight: 6, WriteWeight: 1, BatchWeight: 1, BatchSize: 8},
+					Addr:    AddrPattern{Kind: AddrChase},
+					Payload: PayloadPointer,
+				}},
+			}
+		},
+	},
+	// zipfian-hot-page: skewed page popularity with a two-period
+	// (diurnal + hourly) rate envelope and mixed-compressibility lines —
+	// the serving-cache shape where a few 4KB pages absorb most reads.
+	"zipfian-hot-page": {
+		desc: "Zipf(1.2) page skew, mixed payloads, diurnal+hourly rate envelope",
+		build: func(seed int64, events int) Spec {
+			return Spec{
+				Name: "zipfian-hot-page", Seed: seed, AddrSpace: 1 << 14, Prefill: 1 << 14,
+				Clients: []ClientSpec{{
+					Name: "frontend", Events: events,
+					Arrival: Arrival{Process: Poisson, Rate: 3000},
+					Envelope: []Period{
+						{Period: 60 * time.Second, Amplitude: 0.5},
+						{Period: 7 * time.Second, Amplitude: 0.25, Phase: 1.3},
+					},
+					Mix:     Mix{ReadWeight: 8, WriteWeight: 1, BatchWeight: 1, BatchSize: 16},
+					Addr:    AddrPattern{Kind: AddrZipf, ZipfS: 1.2, PageLines: 64},
+					Payload: PayloadMixed,
+				}},
+			}
+		},
+	},
+	// write-burst: a steady zipfian reader composed with a bursty
+	// Gamma(0.3) sequential writer — write clumps slam the shard queues
+	// while reads keep flowing, the checkpoint/flush shape.
+	"write-burst": {
+		desc: "steady zipfian reader + bursty Gamma(0.3) sequential batch writer",
+		build: func(seed int64, events int) Spec {
+			wEvents := events * 3 / 5
+			rEvents := events - wEvents
+			if rEvents < 1 {
+				rEvents = 1
+			}
+			if wEvents < 1 {
+				wEvents = 1
+			}
+			return Spec{
+				Name: "write-burst", Seed: seed, AddrSpace: 1 << 13, Prefill: 1 << 12,
+				Clients: []ClientSpec{
+					{
+						Name: "reader", Events: rEvents,
+						Arrival: Arrival{Process: Poisson, Rate: 1000},
+						Mix:     Mix{ReadWeight: 1, WriteWeight: 0, BatchWeight: 0},
+						Addr:    AddrPattern{Kind: AddrZipf, ZipfS: 1.1, PageLines: 64},
+						Payload: PayloadMixed,
+					},
+					{
+						Name: "burster", Events: wEvents,
+						Arrival: Arrival{Process: GammaProc, Rate: 2000, Shape: 0.3},
+						Mix:     Mix{ReadWeight: 0, WriteWeight: 2, BatchWeight: 1, BatchSize: 32},
+						Addr:    AddrPattern{Kind: AddrStream, Stride: 1},
+						Payload: PayloadCompressible,
+					},
+				},
+			}
+		},
+	},
+	// compression-hostile: uniform addresses, incompressible payloads,
+	// heavy-tailed Weibull(0.6) arrivals. Compression wins nothing, so
+	// this pins the metadata-overhead floor the paper is about.
+	"compression-hostile": {
+		desc: "uniform random, incompressible payloads, heavy-tailed Weibull(0.6) arrivals",
+		build: func(seed int64, events int) Spec {
+			return Spec{
+				Name: "compression-hostile", Seed: seed, AddrSpace: 1 << 13, Prefill: 1 << 12,
+				Clients: []ClientSpec{{
+					Name: "adversary", Events: events,
+					Arrival: Arrival{Process: WeibullProc, Rate: 2000, Shape: 0.6},
+					Mix:     Mix{ReadWeight: 2, WriteWeight: 2, BatchWeight: 1, BatchSize: 16},
+					Addr:    AddrPattern{Kind: AddrUniform},
+					Payload: PayloadHostile,
+				}},
+			}
+		},
+	},
+}
+
+// Names lists the preset scenarios, sorted.
+func Names() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns a preset's one-line description, or "".
+func Describe(name string) string { return presets[name].desc }
+
+// Preset builds a named scenario Spec with the given seed and total
+// event budget (0 defaults to 2000, split across the scenario's clients
+// by its own weighting).
+func Preset(name string, seed int64, events int) (Spec, error) {
+	p, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+	}
+	if events <= 0 {
+		events = 2000
+	}
+	return p.build(seed, events), nil
+}
