@@ -68,11 +68,6 @@ type Framework = core.Framework
 // not safe for concurrent use — concurrent callers go through Engine.
 type Memory = core.Memory
 
-// MemoryStats aggregates a Memory's traffic in paper units.
-//
-// Deprecated: read stats through Memory.StatsSnapshot / Engine.StatsSnapshot.
-type MemoryStats = core.MemoryStats
-
 // StatsSnapshot is an immutable copy of a Memory's (or, merged, an
 // Engine's) counters and derived metrics.
 type StatsSnapshot = core.StatsSnapshot

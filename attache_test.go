@@ -32,10 +32,10 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if s := mem.StatsSnapshot().BandwidthSavings(); s <= 0 {
 		t.Fatalf("compressible data saved no bandwidth (%.3f)", s)
 	}
-	// The deprecated Stats field stays supported and coherent with the
-	// snapshot for single-goroutine callers.
-	if mem.Stats.BandwidthSavings() != mem.StatsSnapshot().BandwidthSavings() {
-		t.Fatal("deprecated Stats field diverged from StatsSnapshot")
+	// Two snapshots with no traffic in between agree: StatsSnapshot is the
+	// one supported stats surface (the old exported Stats field is gone).
+	if mem.StatsSnapshot() != mem.StatsSnapshot() {
+		t.Fatal("back-to-back snapshots diverged")
 	}
 }
 

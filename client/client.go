@@ -53,6 +53,8 @@ type Client struct {
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 	budget      time.Duration
+	tenant      string
+	traceHeader string
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -66,9 +68,28 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithMaxRetries caps retry attempts after the first try (default 4).
-func WithMaxRetries(n int) Option {
+// WithRetry caps retry attempts after the first try (default 4).
+func WithRetry(n int) Option {
 	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithMaxRetries caps retry attempts after the first try.
+//
+// Deprecated: use WithRetry.
+func WithMaxRetries(n int) Option { return WithRetry(n) }
+
+// WithTenant stamps every request with the X-Attache-Tenant header, so a
+// clustered daemon books the client's ops to that tenant's admission
+// quota and SLO class. A per-call ContextWithTenant overrides it.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
+}
+
+// WithTraceHeader renames the header carrying the outgoing trace ID
+// (default "X-Attache-Trace") — for daemons behind proxies that rewrite
+// or reserve the canonical name. The daemon must be configured to match.
+func WithTraceHeader(name string) Option {
+	return func(c *Client) { c.traceHeader = name }
 }
 
 // WithBackoff sets the exponential-backoff window: sleeps are drawn
@@ -98,12 +119,72 @@ func New(baseURL string, opts ...Option) *Client {
 		maxRetries:  4,
 		baseBackoff: 50 * time.Millisecond,
 		maxBackoff:  2 * time.Second,
+		traceHeader: obs.TraceHeader,
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.traceHeader == "" {
+		c.traceHeader = obs.TraceHeader
+	}
 	return c
+}
+
+// Config is the struct form of the client knobs, one field per
+// functional option; zero values take the option's default.
+//
+// Deprecated: configure with New and functional options (WithRetry,
+// WithBackoff, WithDeadlineBudget, WithTenant, WithTraceHeader,
+// WithHTTPClient, WithJitterSeed). NewFromConfig remains as a shim for
+// one release.
+type Config struct {
+	HTTPClient     *http.Client
+	MaxRetries     int // 0 keeps the default of 4; negative disables retries
+	BackoffBase    time.Duration
+	BackoffMax     time.Duration
+	DeadlineBudget time.Duration
+	Tenant         string
+	TraceHeader    string
+	JitterSeed     int64 // non-zero makes backoff jitter deterministic
+}
+
+// NewFromConfig builds a client from the struct form of the knobs. It is
+// a thin shim over New: every field maps to exactly one functional
+// option, proven equivalent by TestNewFromConfigEquivalence.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(baseURL string, cfg Config) *Client {
+	var opts []Option
+	if cfg.HTTPClient != nil {
+		opts = append(opts, WithHTTPClient(cfg.HTTPClient))
+	}
+	if cfg.MaxRetries != 0 {
+		opts = append(opts, WithRetry(max(cfg.MaxRetries, 0)))
+	}
+	if cfg.BackoffBase != 0 || cfg.BackoffMax != 0 {
+		base, maxB := cfg.BackoffBase, cfg.BackoffMax
+		if base == 0 {
+			base = 50 * time.Millisecond
+		}
+		if maxB == 0 {
+			maxB = 2 * time.Second
+		}
+		opts = append(opts, WithBackoff(base, maxB))
+	}
+	if cfg.DeadlineBudget != 0 {
+		opts = append(opts, WithDeadlineBudget(cfg.DeadlineBudget))
+	}
+	if cfg.Tenant != "" {
+		opts = append(opts, WithTenant(cfg.Tenant))
+	}
+	if cfg.TraceHeader != "" {
+		opts = append(opts, WithTraceHeader(cfg.TraceHeader))
+	}
+	if cfg.JitterSeed != 0 {
+		opts = append(opts, WithJitterSeed(cfg.JitterSeed))
+	}
+	return New(baseURL, opts...)
 }
 
 // StatusError is a non-retryable (or retry-exhausted) HTTP failure.
@@ -191,6 +272,13 @@ func ContextWithTraceID(ctx context.Context, id string) context.Context {
 	return context.WithValue(ctx, traceKey{}, id)
 }
 
+// ContextWithTenant returns a child context whose requests carry tenant
+// in the X-Attache-Tenant header, overriding any client-level WithTenant
+// for calls made with it.
+func ContextWithTenant(ctx context.Context, tenant string) context.Context {
+	return obs.ContextWithTenant(ctx, tenant)
+}
+
 // roundTrip POSTs (or GETs, for empty body) path with retries and
 // returns the final response status and body.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
@@ -209,7 +297,12 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		}
 		req.Header.Set("Content-Type", "application/json")
 		if id, ok := ctx.Value(traceKey{}).(string); ok && id != "" {
-			req.Header.Set(obs.TraceHeader, id)
+			req.Header.Set(c.traceHeader, id)
+		}
+		if t := obs.TenantFromContext(ctx); t != "" {
+			req.Header.Set(obs.TenantHeader, t)
+		} else if c.tenant != "" {
+			req.Header.Set(obs.TenantHeader, c.tenant)
 		}
 
 		var retryAfter time.Duration
@@ -395,10 +488,14 @@ func opErr(msg string) error {
 	return errors.New(msg)
 }
 
-// Stats fetches the engine's merged snapshot.
+// Stats fetches the daemon's merged engine snapshot. It pins the
+// deprecated v1 flat schema (?v=1) so the shape keeps round-tripping
+// into attache.EngineSnapshot across the stats v2 redesign; new code
+// wanting per-instance, per-class, or per-tenant breakdowns should use
+// StatsV2.
 func (c *Client) Stats(ctx context.Context) (attache.EngineSnapshot, error) {
 	var snap attache.EngineSnapshot
-	code, respBody, err := c.roundTrip(ctx, http.MethodGet, "/v1/stats", nil)
+	code, respBody, err := c.roundTrip(ctx, http.MethodGet, "/v1/stats?v=1", nil)
 	if err != nil {
 		return snap, err
 	}
@@ -409,6 +506,64 @@ func (c *Client) Stats(ctx context.Context) (attache.EngineSnapshot, error) {
 		return snap, fmt.Errorf("client: bad stats response: %w", err)
 	}
 	return snap, nil
+}
+
+// StatsV2 is the schema-version-2 stats document served at /v1/stats:
+// nested sections with per-instance engine snapshots, per-SLO-class
+// latency quantiles, a Jain fairness index, and per-tenant accounting.
+type StatsV2 struct {
+	SchemaVersion int `json:"schema_version"`
+	Engine        struct {
+		Shards      int                      `json:"shards"`
+		SRAMBytes   int                      `json:"sram_bytes"`
+		Total       attache.StatsSnapshot    `json:"total"`
+		PerInstance []attache.EngineSnapshot `json:"per_instance"`
+	} `json:"engine"`
+	Robust    attache.RobustStats `json:"robust"`
+	Telemetry struct {
+		UptimeSeconds float64              `json:"uptime_seconds"`
+		Gauges        []attache.ShardGauge `json:"gauges"`
+	} `json:"telemetry"`
+	Cluster struct {
+		Instances    int     `json:"instances"`
+		Router       string  `json:"router"`
+		JainFairness float64 `json:"jain_fairness"`
+		Classes      []struct {
+			Class   string  `json:"class"`
+			Calls   int64   `json:"calls"`
+			Ops     int64   `json:"ops"`
+			P50us   float64 `json:"p50_us"`
+			P90us   float64 `json:"p90_us"`
+			P99us   float64 `json:"p99_us"`
+			MaxUs   float64 `json:"max_us"`
+			Samples int     `json:"samples"`
+		} `json:"classes"`
+	} `json:"cluster"`
+	Tenants []struct {
+		Tenant      string `json:"tenant"`
+		Class       string `json:"class"`
+		Ops         int64  `json:"ops"`
+		OK          int64  `json:"ok"`
+		ShedQuota   int64  `json:"shed_quota"`
+		ShedBackend int64  `json:"shed_backend"`
+		Errors      int64  `json:"errors"`
+	} `json:"tenants"`
+}
+
+// StatsV2 fetches the current (schema v2) stats document.
+func (c *Client) StatsV2(ctx context.Context) (StatsV2, error) {
+	var doc StatsV2
+	code, respBody, err := c.roundTrip(ctx, http.MethodGet, "/v1/stats?v=2", nil)
+	if err != nil {
+		return doc, err
+	}
+	if code != http.StatusOK {
+		return doc, statusToErr(code, respBody)
+	}
+	if err := json.Unmarshal(respBody, &doc); err != nil {
+		return doc, fmt.Errorf("client: bad stats response: %w", err)
+	}
+	return doc, nil
 }
 
 // Trace fetches the pipeline timeline of a traced request by ID (as

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"attache/internal/obs"
+	"attache/internal/shard"
+)
+
+// TestNewFromConfigEquivalence proves the deprecated struct constructor
+// is a pure shim: for every knob, NewFromConfig yields a client with the
+// same resolved settings as New with the matching functional option.
+func TestNewFromConfigEquivalence(t *testing.T) {
+	hc := &http.Client{Timeout: 3 * time.Second}
+	cases := []struct {
+		name string
+		cfg  Config
+		opts []Option
+	}{
+		{name: "zero config = all defaults"},
+		{
+			name: "every knob set",
+			cfg: Config{
+				HTTPClient:     hc,
+				MaxRetries:     7,
+				BackoffBase:    5 * time.Millisecond,
+				BackoffMax:     80 * time.Millisecond,
+				DeadlineBudget: 250 * time.Millisecond,
+				Tenant:         "acme",
+				TraceHeader:    "X-Proxy-Trace",
+				JitterSeed:     42,
+			},
+			opts: []Option{
+				WithHTTPClient(hc),
+				WithRetry(7),
+				WithBackoff(5*time.Millisecond, 80*time.Millisecond),
+				WithDeadlineBudget(250 * time.Millisecond),
+				WithTenant("acme"),
+				WithTraceHeader("X-Proxy-Trace"),
+				WithJitterSeed(42),
+			},
+		},
+		{
+			name: "partial backoff fills the other default",
+			cfg:  Config{BackoffBase: 9 * time.Millisecond},
+			opts: []Option{WithBackoff(9*time.Millisecond, 2*time.Second)},
+		},
+		{
+			name: "negative MaxRetries disables retries",
+			cfg:  Config{MaxRetries: -1},
+			opts: []Option{WithRetry(0)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewFromConfig("http://daemon:8080/", tc.cfg)
+			want := New("http://daemon:8080/", tc.opts...)
+			if got.base != want.base {
+				t.Errorf("base = %q, want %q", got.base, want.base)
+			}
+			if tc.cfg.HTTPClient != nil && got.hc != want.hc {
+				t.Errorf("http client = %p, want %p", got.hc, want.hc)
+			}
+			if got.maxRetries != want.maxRetries {
+				t.Errorf("maxRetries = %d, want %d", got.maxRetries, want.maxRetries)
+			}
+			if got.baseBackoff != want.baseBackoff || got.maxBackoff != want.maxBackoff {
+				t.Errorf("backoff = (%v,%v), want (%v,%v)", got.baseBackoff, got.maxBackoff, want.baseBackoff, want.maxBackoff)
+			}
+			if got.budget != want.budget {
+				t.Errorf("budget = %v, want %v", got.budget, want.budget)
+			}
+			if got.tenant != want.tenant {
+				t.Errorf("tenant = %q, want %q", got.tenant, want.tenant)
+			}
+			if got.traceHeader != want.traceHeader {
+				t.Errorf("traceHeader = %q, want %q", got.traceHeader, want.traceHeader)
+			}
+		})
+	}
+}
+
+// TestTenantHeaderSent pins the tenancy plumbing on the wire: WithTenant
+// stamps every request, ContextWithTenant overrides per call, and a bare
+// client sends no tenant header at all.
+func TestTenantHeaderSent(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		seen []string
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(obs.TenantHeader))
+		mu.Unlock()
+		w.Write([]byte(`{"addr":1,"ok":true}`))
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	if err := New(ts.URL, fastOpts()...).Write(ctx, 1, testLine(1)); err != nil {
+		t.Fatal(err)
+	}
+	c := New(ts.URL, fastOpts(WithTenant("acme"))...)
+	if err := c.Write(ctx, 1, testLine(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(ContextWithTenant(ctx, "globex"), 1, testLine(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"", "acme", "globex"}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Errorf("request %d tenant header = %q, want %q", i, seen[i], w)
+		}
+	}
+}
+
+// TestStatsV2RoundTrip drives the versioned stats surface end to end
+// against a real daemon: v2 is the default schema and carries the
+// cluster section; Stats() keeps decoding the pinned v1 shape.
+func TestStatsV2RoundTrip(t *testing.T) {
+	ts, _ := newDaemon(t, shard.Config{Shards: 2})
+	c := New(ts.URL, fastOpts(WithTenant("acme"))...)
+	ctx := context.Background()
+
+	if err := c.Write(ctx, 3, testLine(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := c.StatsV2(ctx)
+	if err != nil {
+		t.Fatalf("stats v2: %v", err)
+	}
+	if doc.SchemaVersion != 2 {
+		t.Fatalf("schema_version = %d, want 2", doc.SchemaVersion)
+	}
+	if doc.Cluster.Instances != 1 || doc.Cluster.Router != "passthrough" {
+		t.Fatalf("cluster section = %+v, want 1 passthrough instance", doc.Cluster)
+	}
+	if doc.Engine.Total.Reads != 1 || doc.Engine.Total.Writes != 1 {
+		t.Fatalf("engine totals = %+v, want 1 read / 1 write", doc.Engine.Total)
+	}
+	if len(doc.Tenants) != 1 || doc.Tenants[0].Tenant != "acme" || doc.Tenants[0].OK != 2 {
+		t.Fatalf("tenants = %+v, want acme with 2 ok ops", doc.Tenants)
+	}
+	if len(doc.Cluster.Classes) != 1 || doc.Cluster.Classes[0].Class != "best-effort" {
+		t.Fatalf("classes = %+v, want one best-effort class", doc.Cluster.Classes)
+	}
+
+	snap, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats v1: %v", err)
+	}
+	if snap.Total.Reads != 1 || snap.Total.Writes != 1 {
+		t.Fatalf("v1 totals = %+v, want 1 read / 1 write", snap.Total)
+	}
+}

@@ -27,6 +27,15 @@
 //	... traffic ...
 //	go run ./cmd/attacheload -replay capture.ndjson
 //
+// Cluster mode: -cluster N runs N engine instances behind a router
+// (-router round-robin | least-loaded | affinity) with per-tenant
+// token-bucket admission (-quotas "acme=5000,globex=1000:2000",
+// -default-quota) and SLO classes (-classes "acme=gold"). Clients name
+// their tenant in the X-Attache-Tenant header; /v1/stats (schema v2)
+// reports per-instance, per-class, and per-tenant breakdowns plus a
+// Jain fairness index. The default -cluster 1 with the passthrough
+// router is bit-identical to the pre-cluster daemon.
+//
 // SIGTERM/SIGINT starts a graceful drain: the listener stops accepting,
 // in-flight requests finish (bounded by -shutdown-timeout), the engine's
 // pipelines drain, and the daemon logs a final stats snapshot.
@@ -35,17 +44,22 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"attache"
+	"attache/internal/cluster"
 	"attache/internal/obs"
 	"attache/internal/serve"
+	"attache/internal/shard"
 	"attache/internal/workload"
 )
 
@@ -66,6 +80,15 @@ func main() {
 		maxBatch        = flag.Int("max-batch", 4096, "max ops per /v1/batch request")
 		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 		record          = flag.String("record", "", "capture offered ops to this tracev1 NDJSON file for later -replay")
+
+		// Cluster knobs: N engine instances behind a router, per-tenant
+		// admission quotas, and SLO classes. The default (1 instance,
+		// passthrough) is bit-identical to the pre-cluster daemon.
+		instances    = flag.Int("cluster", 1, "engine instance count behind the router")
+		router       = flag.String("router", "", "routing policy: passthrough, round-robin, least-loaded, affinity (default: passthrough for 1 instance, round-robin otherwise)")
+		quotas       = flag.String("quotas", "", `per-tenant admission quotas, "tenant=rate[:burst],..." in ops/sec (e.g. "acme=5000,globex=1000:2000")`)
+		defaultQuota = flag.String("default-quota", "", `quota shape for tenants without an explicit one, "rate[:burst]" (empty = unlimited)`)
+		classes      = flag.String("classes", "", `per-tenant SLO classes, "tenant=class,..." with class gold|silver|best-effort (unmapped tenants are best-effort)`)
 
 		// Observability knobs.
 		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error (access logs for 2xx log at debug)")
@@ -96,28 +119,44 @@ func main() {
 		RingSize:   *traceRing,
 	})
 
-	opts := []attache.Option{
-		attache.WithCIDWidth(*cidBits),
-		attache.WithSeed(*seed),
-		attache.WithShards(*shards),
-		attache.WithQueueDepth(*queueDepth),
-		attache.WithMaxLines(*maxLines),
-		attache.WithFaultPlan(attache.FaultPlan{
+	opts := attache.DefaultOptions()
+	opts.CIDBits = *cidBits
+	opts.Seed = *seed
+	opts.DisablePredictor = *noPredictor
+	opts.ExtendedCompression = *extended
+	shardCfg := shard.Config{
+		Shards:     *shards,
+		QueueDepth: *queueDepth,
+		MaxLines:   *maxLines,
+		Faults: attache.FaultPlan{
 			Seed:     *faultSeed,
 			ErrP:     *faultErr,
 			DelayP:   *faultDelay,
 			Delay:    *faultDelayDur,
 			PartialP: *faultPartial,
-		}),
-		attache.WithObserver(observer),
+		},
+		Obs: observer,
 	}
-	if *noPredictor {
-		opts = append(opts, attache.WithoutPredictor())
+	quotaMap, err := parseQuotas(*quotas)
+	if err != nil {
+		log.Fatalf("attached: -quotas: %v", err)
 	}
-	if *extended {
-		opts = append(opts, attache.WithExtendedCompression())
+	var fallback cluster.Quota
+	if *defaultQuota != "" {
+		if fallback, err = parseQuota(*defaultQuota); err != nil {
+			log.Fatalf("attached: -default-quota: %v", err)
+		}
 	}
-	eng, err := attache.NewEngine(opts...)
+	classMap, err := parseClasses(*classes)
+	if err != nil {
+		log.Fatalf("attached: -classes: %v", err)
+	}
+	cl, err := cluster.New(opts, shardCfg, *instances, cluster.Config{
+		Router:       *router,
+		Quotas:       quotaMap,
+		DefaultQuota: fallback,
+		Classes:      classMap,
+	})
 	if err != nil {
 		log.Fatalf("attached: %v", err)
 	}
@@ -147,7 +186,7 @@ func main() {
 	if recorder != nil {
 		cfg.Record = recorder
 	}
-	srv := serve.New(eng, cfg)
+	srv := serve.NewCluster(cl, cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -155,8 +194,9 @@ func main() {
 	go func() {
 		<-srv.Ready()
 		logger.Info("serving",
-			"addr", srv.Addr(), "shards", eng.Shards(), "queue_depth", *queueDepth,
-			"sram_overhead_kb", eng.StorageOverheadBytes()>>10,
+			"addr", srv.Addr(), "instances", cl.Instances(), "router", cl.RouterName(),
+			"shards", cl.Shards(), "queue_depth", *queueDepth,
+			"sram_overhead_kb", cl.EngineSnapshot().SRAMBytes>>10,
 			"trace_sample", *traceSample, "pprof", *pprof)
 	}()
 	err = srv.ListenAndServe(ctx)
@@ -171,13 +211,74 @@ func main() {
 		logger.Info("capture written", "path", *record, "events", recorder.Events())
 	}
 
-	snap := eng.StatsSnapshot().Total
+	snap := cl.EngineSnapshot().Total
 	logger.Info("drained",
 		"reads", snap.Reads, "writes", snap.Writes, "lines", snap.Lines,
 		"compressed_ratio", snap.CompressedLineRatio(),
 		"bandwidth_saved", snap.BandwidthSavings(),
-		"copr_accuracy", snap.PredictionAccuracy)
+		"copr_accuracy", snap.PredictionAccuracy,
+		"jain_fairness", cl.JainFairness())
 	if err != nil {
 		log.Fatalf("attached: %v", err)
 	}
+}
+
+// parseQuota parses "rate[:burst]" into a Quota, e.g. "5000" or
+// "1000:2000".
+func parseQuota(s string) (cluster.Quota, error) {
+	rateStr, burstStr, hasBurst := strings.Cut(s, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate < 0 {
+		return cluster.Quota{}, fmt.Errorf("bad rate %q (want ops/sec)", rateStr)
+	}
+	q := cluster.Quota{Rate: rate}
+	if hasBurst {
+		burst, err := strconv.ParseFloat(burstStr, 64)
+		if err != nil || burst < 0 {
+			return cluster.Quota{}, fmt.Errorf("bad burst %q (want ops)", burstStr)
+		}
+		q.Burst = burst
+	}
+	return q, nil
+}
+
+// parseQuotas parses "tenant=rate[:burst],..." into per-tenant quotas.
+func parseQuotas(s string) (map[string]cluster.Quota, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]cluster.Quota)
+	for _, part := range strings.Split(s, ",") {
+		tenant, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("bad entry %q (want tenant=rate[:burst])", part)
+		}
+		q, err := parseQuota(spec)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", tenant, err)
+		}
+		out[tenant] = q
+	}
+	return out, nil
+}
+
+// parseClasses parses "tenant=class,..." into per-tenant SLO classes.
+func parseClasses(s string) (map[string]cluster.Class, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]cluster.Class)
+	for _, part := range strings.Split(s, ",") {
+		tenant, class, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("bad entry %q (want tenant=class)", part)
+		}
+		switch c := cluster.Class(class); c {
+		case cluster.ClassGold, cluster.ClassSilver, cluster.ClassBestEffort:
+			out[tenant] = c
+		default:
+			return nil, fmt.Errorf("tenant %q: unknown class %q (want gold, silver, or best-effort)", tenant, class)
+		}
+	}
+	return out, nil
 }

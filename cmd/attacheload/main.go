@@ -29,6 +29,14 @@
 //
 //	go run ./cmd/attacheload -replay capture.ndjson -pace
 //
+// Multi-tenant load: -tenants deals a comma-separated tenant list onto
+// events round-robin (deterministic, invisible to the plan checksum);
+// each event carries its tenant in the X-Attache-Tenant header when
+// driving a daemon, and the report breaks ops/sheds/errors down per
+// tenant — the harness half of the cluster's admission-control story:
+//
+//	go run ./cmd/attacheload -target http://localhost:8080 -tenants acme,globex
+//
 // The report covers throughput, per-kind latency quantiles, shed rate,
 // and the full error taxonomy; -json emits it as one JSON object.
 // -trace-queue-wait threads a pipeline trace through every event
@@ -48,6 +56,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +85,7 @@ func main() {
 		listScen    = flag.Bool("list-scenarios", false, "list the preset workload scenarios and exit")
 		replay      = flag.String("replay", "", "replay a tracev1 NDJSON capture (from attached -record) instead of generating a plan")
 		pace        = flag.Bool("pace", false, "honor scenario/replay arrival offsets (open-loop at the recorded times)")
+		tenants     = flag.String("tenants", "", "comma-separated tenants dealt round-robin across events (sent as the tenant header)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
 		logLevel    = flag.String("log-level", "warn", "harness log level: debug, info, warn, error")
 		queueWait   = flag.Bool("trace-queue-wait", false, "trace every event through the engine pipeline and report per-kind queue-wait quantiles (in-process targets only)")
@@ -110,6 +120,15 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	var tenantList []string
+	if *tenants != "" {
+		for _, t := range strings.Split(*tenants, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				tenantList = append(tenantList, t)
+			}
+		}
+	}
+
 	cfg := loadgen.Config{
 		Seed:           *seed,
 		Events:         *events,
@@ -124,6 +143,7 @@ func main() {
 		Prefill:        *prefill,
 		Pace:           *pace,
 		TraceQueueWait: *queueWait,
+		Tenants:        tenantList,
 	}
 
 	// Scenario and replay modes bring their own event sequences; both
@@ -168,6 +188,8 @@ func main() {
 		logger.Info("replay", "path", *replay, "events", len(preplanned),
 			"op_checksum", workload.OpChecksum(preplanned))
 	}
+	// Scenario and replay events bypass Plan, so deal tenants here.
+	loadgen.AssignTenants(preplanned, tenantList)
 
 	var tgt loadgen.Target
 	if *target != "" {
@@ -262,5 +284,18 @@ func printReport(rep loadgen.Report) {
 	}
 	if len(labels) == 0 {
 		fmt.Println("errors         none")
+	}
+
+	if len(rep.PerTenant) > 0 {
+		names := make([]string, 0, len(rep.PerTenant))
+		for name := range rep.PerTenant {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tr := rep.PerTenant[name]
+			fmt.Printf("tenant %-12s events %6d  ops %6d offered, %6d ok, %6d shed\n",
+				name, tr.Events, tr.Ops, tr.OpsOK, tr.Shed)
+		}
 	}
 }

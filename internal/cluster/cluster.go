@@ -1,0 +1,399 @@
+// Package cluster fronts N shard.Engine instances with a pluggable
+// router, per-tenant token-bucket admission control, and SLO-class
+// accounting — the scale-out layer between the HTTP daemon and the
+// engines.
+//
+// Layering: serve → cluster → shard.Engine → core.Memory. The cluster
+// is deliberately thin on the data path: route, forward, account. A
+// 1-instance cluster with the passthrough router forwards each batch
+// verbatim to its engine, so it is bit-identical to calling the engine
+// directly (the same pinning discipline TestSingleShardMatchesMemory
+// applies one layer down).
+//
+// Every routing decision can be recorded (inputs and outcome) into a
+// bounded ring, and WhatIf replays those decisions under an alternative
+// policy for counterfactual analysis.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"attache/internal/core"
+	"attache/internal/obs"
+	"attache/internal/shard"
+)
+
+// Config shapes a cluster around its engines.
+type Config struct {
+	// Router names the routing policy (see NewRouter). Empty defaults to
+	// passthrough for 1 instance and round-robin otherwise.
+	Router string
+	// Quotas maps tenant → admission quota. Tenants absent from the map
+	// use DefaultQuota.
+	Quotas map[string]Quota
+	// DefaultQuota applies per-tenant to every tenant without an explicit
+	// quota (each gets its own bucket of this shape). Zero = unlimited.
+	DefaultQuota Quota
+	// Classes maps tenant → SLO class; unmapped tenants are best-effort.
+	Classes map[string]Class
+	// DecisionLog sizes the routing-decision ring: 0 defaults to 1024,
+	// negative disables recording.
+	DecisionLog int
+	// Now is the admission clock; nil means time.Now. Injectable so
+	// quota tests drive time deterministically.
+	Now func() time.Time
+}
+
+// Cluster owns N engines behind a router. Safe for concurrent use.
+type Cluster struct {
+	engines []*shard.Engine
+	router  Router
+	adm     *admitter
+	slo     *sloBook
+	log     *decisionLog
+}
+
+// InstanceSeed derives instance i's engine seed from a base seed.
+// Instance 0 keeps the base exactly — a 1-instance cluster must build
+// the same engine a direct shard.New would — and later instances mix in
+// their index with a distinct odd constant (NOT the engine's per-shard
+// constant, so instance 1's shard 0 never collides with instance 0's
+// shard 1).
+func InstanceSeed(base int64, i int) int64 {
+	return base ^ int64(uint64(i)*0xD1B54A32D192ED03)
+}
+
+// New builds instances engines, each of shardCfg shards configured from
+// opts with InstanceSeed-derived seeds, behind cfg's router.
+func New(opts core.Options, shardCfg shard.Config, instances int, cfg Config) (*Cluster, error) {
+	if instances < 1 {
+		return nil, fmt.Errorf("cluster: instance count %d not in [1,∞): %w", instances, core.ErrOutOfRange)
+	}
+	engines := make([]*shard.Engine, instances)
+	for i := range engines {
+		o := opts
+		o.Seed = InstanceSeed(opts.Seed, i)
+		eng, err := shard.New(o, shardCfg)
+		if err != nil {
+			for _, e := range engines[:i] {
+				e.Close()
+			}
+			return nil, err
+		}
+		engines[i] = eng
+	}
+	c, err := Wrap(engines, cfg)
+	if err != nil {
+		for _, e := range engines {
+			e.Close()
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// Wrap fronts existing engines with a cluster. The cluster takes
+// ownership: Close closes every engine.
+func Wrap(engines []*shard.Engine, cfg Config) (*Cluster, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one engine: %w", core.ErrOutOfRange)
+	}
+	policy := cfg.Router
+	if policy == "" {
+		if len(engines) == 1 {
+			policy = Passthrough
+		} else {
+			policy = RoundRobin
+		}
+	}
+	r, err := NewRouter(policy, len(engines))
+	if err != nil {
+		return nil, err
+	}
+	logSize := cfg.DecisionLog
+	if logSize == 0 {
+		logSize = 1024
+	}
+	return &Cluster{
+		engines: engines,
+		router:  r,
+		adm:     newAdmitter(cfg.Quotas, cfg.DefaultQuota, cfg.Now),
+		slo:     newSLOBook(cfg.Classes),
+		log:     newDecisionLog(logSize),
+	}, nil
+}
+
+// Instances reports the engine count.
+func (c *Cluster) Instances() int { return len(c.engines) }
+
+// RouterName reports the active routing policy.
+func (c *Cluster) RouterName() string { return c.router.Name() }
+
+// Shards reports the total shard count across instances.
+func (c *Cluster) Shards() int {
+	n := 0
+	for _, e := range c.engines {
+		n += e.Shards()
+	}
+	return n
+}
+
+// Engine returns instance i's engine, for tests that inspect one
+// instance directly.
+func (c *Cluster) Engine(i int) *shard.Engine { return c.engines[i] }
+
+// Do submits a batch without a context: untenanted, never quota-shed
+// (unless a default quota is set), blocking on backpressure like
+// shard.Engine.Do.
+func (c *Cluster) Do(ops []shard.Op) ([]shard.Result, error) {
+	return c.DoCtx(context.Background(), ops)
+}
+
+// DoCtx routes a batch to its instance(s) and blocks until every op
+// completes, with shard.Engine.DoCtx's deadline/shed semantics per
+// instance. The context's tenant (obs.ContextWithTenant) selects the
+// admission quota and SLO class; an over-quota batch is refused whole —
+// every op fails with core.ErrOverloaded and nothing reaches an engine,
+// so callers see the same sentinel (and servers the same 429) as an
+// engine-level shed.
+func (c *Cluster) DoCtx(ctx context.Context, ops []shard.Op) ([]shard.Result, error) {
+	tenant := obs.TenantFromContext(ctx)
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if !c.adm.admit(tenant, len(ops)) {
+		c.slo.recordQuotaShed(tenant, len(ops))
+		err := fmt.Errorf("cluster: tenant %q over quota: %w", tenant, core.ErrOverloaded)
+		res := make([]shard.Result, len(ops))
+		for i := range res {
+			res[i].Err = err
+		}
+		return res, nil
+	}
+
+	loads := make([]int64, len(c.engines))
+	for i, e := range c.engines {
+		loads[i] = e.InFlight()
+	}
+	assign := make([]int, len(ops))
+	c.router.Route(ops, loads, assign)
+
+	start := time.Now()
+	res, err := c.dispatch(ctx, ops, assign)
+	c.record(tenant, ops, loads, assign, time.Since(start), res, err)
+	return res, err
+}
+
+// dispatch executes the routed batch. The single-instance case — every
+// whole-batch router, and any affinity batch that happens to map to one
+// instance — forwards the caller's ops slice verbatim, which is what
+// makes the 1-instance passthrough cluster bit-identical to a bare
+// engine. Split batches regroup per instance, run concurrently, and
+// scatter results back into submission order.
+func (c *Cluster) dispatch(ctx context.Context, ops []shard.Op, assign []int) ([]shard.Result, error) {
+	single := true
+	for _, a := range assign[1:] {
+		if a != assign[0] {
+			single = false
+			break
+		}
+	}
+	if single {
+		return c.engines[assign[0]].DoCtx(ctx, ops)
+	}
+
+	groups := make(map[int][]int, len(c.engines))
+	for i, a := range assign {
+		groups[a] = append(groups[a], i)
+	}
+	res := make([]shard.Result, len(ops))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		failed   int
+	)
+	for inst, idx := range groups {
+		wg.Add(1)
+		go func(inst int, idx []int) {
+			defer wg.Done()
+			sub := make([]shard.Op, len(idx))
+			for j, k := range idx {
+				sub[j] = ops[k]
+			}
+			out, err := c.engines[inst].DoCtx(ctx, sub)
+			if err != nil {
+				// Call-level failure (cancelled context, closed engine):
+				// every op in this group reports it.
+				for _, k := range idx {
+					res[k].Err = err
+				}
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				failed++
+				errMu.Unlock()
+				return
+			}
+			for j, k := range idx {
+				res[k] = out[j]
+			}
+		}(inst, idx)
+	}
+	wg.Wait()
+	if failed == len(groups) {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// record books the decision and the SLO outcome for one executed batch.
+func (c *Cluster) record(tenant string, ops []shard.Op, loads []int64, assign []int, lat time.Duration, res []shard.Result, err error) {
+	per := make([]int, len(c.engines))
+	for _, a := range assign {
+		per[a]++
+	}
+	chosen := 0
+	for i, n := range per {
+		if n > per[chosen] {
+			chosen = i
+		}
+	}
+	addrs := make([]uint64, 0, min(len(ops), decisionAddrCap))
+	for i := 0; i < len(ops) && i < decisionAddrCap; i++ {
+		addrs = append(addrs, ops[i].Addr)
+	}
+	c.log.add(Decision{
+		Tenant:      tenant,
+		Class:       c.slo.classFor(tenant),
+		Ops:         len(ops),
+		Addrs:       addrs,
+		Loads:       loads,
+		PerInstance: per,
+		Chosen:      chosen,
+	})
+
+	if err != nil {
+		c.slo.record(tenant, lat, len(ops), 0, 0, len(ops))
+		return
+	}
+	ok, shed, errs := 0, 0, 0
+	for i := range res {
+		switch {
+		case res[i].Err == nil:
+			ok++
+		case errors.Is(res[i].Err, core.ErrOverloaded):
+			shed++
+		default:
+			errs++
+		}
+	}
+	c.slo.record(tenant, lat, len(ops), ok, shed, errs)
+}
+
+// Read, Write, ReadCtx, WriteCtx are single-op conveniences mirroring
+// shard.Engine's, routed and accounted like any batch.
+
+func (c *Cluster) Read(addr uint64) ([]byte, error) {
+	return c.ReadCtx(context.Background(), addr)
+}
+
+func (c *Cluster) Write(addr uint64, data []byte) error {
+	return c.WriteCtx(context.Background(), addr, data)
+}
+
+func (c *Cluster) ReadCtx(ctx context.Context, addr uint64) ([]byte, error) {
+	res, err := c.DoCtx(ctx, []shard.Op{{Addr: addr}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Data, res[0].Err
+}
+
+func (c *Cluster) WriteCtx(ctx context.Context, addr uint64, data []byte) error {
+	res, err := c.DoCtx(ctx, []shard.Op{{Write: true, Addr: addr, Data: data}})
+	if err != nil {
+		return err
+	}
+	return res[0].Err
+}
+
+// EngineSnapshot merges every instance into one shard.Snapshot — the
+// view v1 stats and the metrics exposition render. PerShard concatenates
+// instance shards in order, totals and robust counters sum, so a
+// 1-instance cluster's merged snapshot is exactly its engine's.
+func (c *Cluster) EngineSnapshot() shard.Snapshot {
+	if len(c.engines) == 1 {
+		return c.engines[0].StatsSnapshot()
+	}
+	var merged shard.Snapshot
+	for _, e := range c.engines {
+		s := e.StatsSnapshot()
+		merged.PerShard = append(merged.PerShard, s.PerShard...)
+		merged.SRAMBytes += s.SRAMBytes
+		merged.Robust.Sheds += s.Robust.Sheds
+		merged.Robust.Canceled += s.Robust.Canceled
+		merged.Robust.InjectedErrors += s.Robust.InjectedErrors
+		merged.Robust.InjectedDelays += s.Robust.InjectedDelays
+	}
+	for _, s := range merged.PerShard {
+		merged.Total.Accumulate(s)
+	}
+	return merged
+}
+
+// PerInstanceSnapshots returns each instance's own snapshot, index i
+// for instance i — the per_instance section of stats v2.
+func (c *Cluster) PerInstanceSnapshots() []shard.Snapshot {
+	out := make([]shard.Snapshot, len(c.engines))
+	for i, e := range c.engines {
+		out[i] = e.StatsSnapshot()
+	}
+	return out
+}
+
+// Gauges flattens every instance's shard gauges into one slice with
+// globally unique shard indices (instance i's shard j appears as shard
+// base+j, where base is the shard count of instances before i).
+func (c *Cluster) Gauges() []obs.ShardGauge {
+	var out []obs.ShardGauge
+	base := 0
+	for _, e := range c.engines {
+		for _, g := range e.Gauges() {
+			g.Shard += base
+			out = append(out, g)
+		}
+		base += e.Shards()
+	}
+	return out
+}
+
+// ClassSnapshots reports per-SLO-class latency quantiles.
+func (c *Cluster) ClassSnapshots() []ClassSnapshot { return c.slo.ClassSnapshots() }
+
+// TenantSnapshots reports per-tenant op accounting.
+func (c *Cluster) TenantSnapshots() []TenantSnapshot { return c.slo.TenantSnapshots() }
+
+// JainFairness reports Jain's fairness index over per-tenant successful
+// throughput (1.0 = perfectly even; 1/n = one tenant got everything).
+func (c *Cluster) JainFairness() float64 { return c.slo.JainFairness() }
+
+// Decisions returns up to n recent routing decisions, oldest first, for
+// counterfactual replay with WhatIf.
+func (c *Cluster) Decisions(n int) []Decision { return c.log.recent(n) }
+
+// Close closes every engine, returning the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, e := range c.engines {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

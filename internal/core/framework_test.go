@@ -275,7 +275,7 @@ func TestMemoryContainer(t *testing.T) {
 	if m.Lines() != len(written) {
 		t.Fatalf("lines = %d, want %d", m.Lines(), len(written))
 	}
-	if m.Stats.Reads.Value() != uint64(len(written)) {
+	if m.stats.Reads.Value() != uint64(len(written)) {
 		t.Fatal("read counter wrong")
 	}
 	if acc := m.PredictionAccuracy(); acc < 0 || acc > 1 {
@@ -304,7 +304,7 @@ func TestMemoryBandwidthSavingsPositiveForCompressibleData(t *testing.T) {
 	}
 	// All lines compressible: writes move 1 block instead of 2; reads
 	// mostly 1 after the predictor warms. Savings should approach 50%.
-	if s := m.Stats.BandwidthSavings(); s < 0.40 {
+	if s := m.stats.BandwidthSavings(); s < 0.40 {
 		t.Fatalf("bandwidth savings = %.3f, want > 0.40", s)
 	}
 }
@@ -315,21 +315,21 @@ func TestCompressedLinesGaugeTracksOverwrites(t *testing.T) {
 	if err := m.Write(1, compressibleLine(0)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.CompressedLines.Value() != 1 {
-		t.Fatalf("gauge = %d, want 1", m.Stats.CompressedLines.Value())
+	if m.stats.CompressedLines.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", m.stats.CompressedLines.Value())
 	}
 	// Overwrite with incompressible content: the gauge must drop.
 	if err := m.Write(1, randomLine(rng)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.CompressedLines.Value() != 0 {
-		t.Fatalf("gauge = %d after uncompressible overwrite, want 0", m.Stats.CompressedLines.Value())
+	if m.stats.CompressedLines.Value() != 0 {
+		t.Fatalf("gauge = %d after uncompressible overwrite, want 0", m.stats.CompressedLines.Value())
 	}
 	// And recover when compressible data returns.
 	if err := m.Write(1, compressibleLine(2)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.CompressedLines.Value() != 1 {
-		t.Fatalf("gauge = %d, want 1", m.Stats.CompressedLines.Value())
+	if m.stats.CompressedLines.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", m.stats.CompressedLines.Value())
 	}
 }

@@ -107,13 +107,10 @@ type Memory struct {
 	// written line so Read can assert the compress/scramble/BLEM
 	// round-trip returned exactly what was stored.
 	shadow map[uint64][LineSize]byte
-	// Stats holds the memory's traffic counters.
-	//
-	// Deprecated: read stats through StatsSnapshot instead, which returns
-	// an immutable copy that stays coherent while an engine is running.
-	// Direct field access remains supported for single-goroutine callers
-	// but will not be extended.
-	Stats MemoryStats
+	// stats holds the memory's traffic counters. Readers go through
+	// StatsSnapshot, which returns an immutable copy that stays coherent
+	// while an engine is running.
+	stats MemoryStats
 }
 
 // NewMemory builds a memory with its own framework instance.
@@ -152,22 +149,22 @@ func (m *Memory) Write(lineAddr uint64, data []byte) error {
 		copy(raw[:], data)
 		m.shadow[lineAddr] = raw
 	}
-	m.Stats.Writes.Inc()
-	m.Stats.BlocksWritten.Add(uint64(tr.BlocksTouched))
+	m.stats.Writes.Inc()
+	m.stats.BlocksWritten.Add(uint64(tr.BlocksTouched))
 	if tr.RAAccess {
-		m.Stats.RAAccesses.Inc()
+		m.stats.RAAccesses.Inc()
 	}
 	switch {
 	case st.Compressed && (!existed || !prev.Compressed):
-		m.Stats.CompressedLines.Inc()
+		m.stats.CompressedLines.Inc()
 	case !st.Compressed && existed && prev.Compressed:
-		m.Stats.CompressedLines.Dec()
+		m.stats.CompressedLines.Dec()
 	}
 	switch {
 	case st.Collision && (!existed || !prev.Collision):
-		m.Stats.RAOccupancy.Inc()
+		m.stats.RAOccupancy.Inc()
 	case !st.Collision && existed && prev.Collision:
-		m.Stats.RAOccupancy.Dec()
+		m.stats.RAOccupancy.Dec()
 	}
 	return nil
 }
@@ -188,13 +185,13 @@ func (m *Memory) Read(lineAddr uint64) ([]byte, error) {
 			return nil, fmt.Errorf("core: self-check failed at line %#x: read bytes differ from last write", lineAddr)
 		}
 	}
-	m.Stats.Reads.Inc()
-	m.Stats.BlocksRead.Add(uint64(tr.BlocksTouched))
+	m.stats.Reads.Inc()
+	m.stats.BlocksRead.Add(uint64(tr.BlocksTouched))
 	if tr.Mispredicted {
-		m.Stats.Mispredictions.Inc()
+		m.stats.Mispredictions.Inc()
 	}
 	if tr.RAAccess {
-		m.Stats.RAAccesses.Inc()
+		m.stats.RAAccesses.Inc()
 	}
 	return data, nil
 }
@@ -235,14 +232,14 @@ func (m *Memory) BatchWrite(addrs []uint64, lines [][]byte) error {
 // value never changes, so callers can hold it across further traffic.
 func (m *Memory) StatsSnapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Reads:              m.Stats.Reads.Value(),
-		Writes:             m.Stats.Writes.Value(),
-		BlocksRead:         m.Stats.BlocksRead.Value(),
-		BlocksWritten:      m.Stats.BlocksWritten.Value(),
-		Mispredictions:     m.Stats.Mispredictions.Value(),
-		RAAccesses:         m.Stats.RAAccesses.Value(),
-		CompressedLines:    m.Stats.CompressedLines.Value(),
-		RAOccupancy:        m.Stats.RAOccupancy.Value(),
+		Reads:              m.stats.Reads.Value(),
+		Writes:             m.stats.Writes.Value(),
+		BlocksRead:         m.stats.BlocksRead.Value(),
+		BlocksWritten:      m.stats.BlocksWritten.Value(),
+		Mispredictions:     m.stats.Mispredictions.Value(),
+		RAAccesses:         m.stats.RAAccesses.Value(),
+		CompressedLines:    m.stats.CompressedLines.Value(),
+		RAOccupancy:        m.stats.RAOccupancy.Value(),
 		Lines:              uint64(len(m.lines)),
 		PredictionAccuracy: m.PredictionAccuracy(),
 	}

@@ -77,6 +77,14 @@ type Config struct {
 	// the default mixed generator — so a scenario's baseline residency
 	// matches its traffic's compressibility (internal/workload sets it).
 	PrefillPayload func(addr uint64) []byte
+	// Tenants, when non-empty, labels events with tenant identities,
+	// dealt round-robin by event index — deterministic, independent of
+	// the RNG, and invisible to Checksum (the op stream is identical
+	// with or without tenancy). Each event runs under its tenant's
+	// context (obs.ContextWithTenant), so a cluster target applies that
+	// tenant's admission quota and SLO class, and the report gains a
+	// per-tenant breakdown.
+	Tenants []string
 	// TraceQueueWait attaches a pipeline trace to every event so the
 	// report can split event latency into queue wait vs. service time
 	// (Report.QueueWait). Only meaningful against an in-process engine
@@ -138,6 +146,23 @@ type Event struct {
 	// read/write events, BatchSize for batches).
 	Kind Kind
 	Ops  []shard.Op
+	// Tenant, when non-empty, runs the event under that tenant's context
+	// and books it to the report's per-tenant bucket. Not part of the
+	// Checksum fingerprint: tenancy labels traffic, it does not change it.
+	Tenant string
+}
+
+// AssignTenants deals tenants onto events round-robin by index, in
+// place — the same labeling Plan applies from Config.Tenants, usable on
+// composed scenarios and decoded captures too. No-op when tenants is
+// empty.
+func AssignTenants(events []Event, tenants []string) {
+	if len(tenants) == 0 {
+		return
+	}
+	for i := range events {
+		events[i].Tenant = tenants[i%len(tenants)]
+	}
 }
 
 // Plan expands cfg into its deterministic event sequence.
@@ -176,6 +201,7 @@ func Plan(cfg Config) []Event {
 		}
 		events[i] = ev
 	}
+	AssignTenants(events, cfg.Tenants)
 	return events
 }
 
@@ -261,6 +287,19 @@ type Report struct {
 	// spent buffered in shard queues before a worker picked them up).
 	// Populated only when Config.TraceQueueWait is set.
 	QueueWait map[string]Quantiles `json:"queue_wait,omitempty"`
+	// PerTenant breaks offered/succeeded/shed ops down by tenant label.
+	// Populated only when events carry tenants (Config.Tenants or
+	// AssignTenants).
+	PerTenant map[string]TenantReport `json:"per_tenant,omitempty"`
+}
+
+// TenantReport is one tenant's slice of a run.
+type TenantReport struct {
+	Events int               `json:"events"`
+	Ops    uint64            `json:"ops"`
+	OpsOK  uint64            `json:"ops_ok"`
+	Shed   uint64            `json:"shed"`
+	Errors map[string]uint64 `json:"errors,omitempty"`
 }
 
 // Classify buckets an op error for the taxonomy.
@@ -303,6 +342,17 @@ type workerTally struct {
 	errs       map[string]uint64
 	samples    map[Kind][]time.Duration
 	qwait      map[Kind][]time.Duration
+	tenants    map[string]*TenantReport
+}
+
+// tenant returns the worker's bucket for name, creating it on first use.
+func (tl *workerTally) tenant(name string) *TenantReport {
+	t := tl.tenants[name]
+	if t == nil {
+		t = &TenantReport{Errors: make(map[string]uint64)}
+		tl.tenants[name] = t
+	}
+	return t
 }
 
 // Run executes the planned sequence against target and reports. The
@@ -339,6 +389,7 @@ func RunEvents(ctx context.Context, target Target, cfg Config, events []Event) (
 			tl.errs = make(map[string]uint64)
 			tl.samples = make(map[Kind][]time.Duration)
 			tl.qwait = make(map[Kind][]time.Duration)
+			tl.tenants = make(map[string]*TenantReport)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(events) || ctx.Err() != nil {
@@ -360,6 +411,9 @@ func RunEvents(ctx context.Context, target Target, cfg Config, events []Event) (
 				if cfg.OpTimeout > 0 {
 					ectx, cancel = context.WithTimeout(ctx, cfg.OpTimeout)
 				}
+				if ev.Tenant != "" {
+					ectx = obs.ContextWithTenant(ectx, ev.Tenant)
+				}
 				var tr *obs.Trace
 				if cfg.TraceQueueWait {
 					tr = obs.NewTrace(obs.TraceID(uint64(i) + 1))
@@ -375,17 +429,40 @@ func RunEvents(ctx context.Context, target Target, cfg Config, events []Event) (
 					tl.qwait[ev.Kind] = append(tl.qwait[ev.Kind], qw)
 				}
 				tl.ops += uint64(len(ev.Ops))
+				var tt *TenantReport
+				if ev.Tenant != "" {
+					tt = tl.tenant(ev.Tenant)
+					tt.Events++
+					tt.Ops += uint64(len(ev.Ops))
+				}
 				if err != nil {
 					// Whole-event failure (expired ctx, closed engine):
 					// every op in it failed the same way.
-					tl.errs[Classify(err)] += uint64(len(ev.Ops))
+					label := Classify(err)
+					tl.errs[label] += uint64(len(ev.Ops))
+					if tt != nil {
+						tt.Errors[label] += uint64(len(ev.Ops))
+						if label == "overloaded" {
+							tt.Shed += uint64(len(ev.Ops))
+						}
+					}
 					continue
 				}
 				for _, r := range res {
 					if r.Err == nil {
 						tl.opsOK++
-					} else {
-						tl.errs[Classify(r.Err)]++
+						if tt != nil {
+							tt.OpsOK++
+						}
+						continue
+					}
+					label := Classify(r.Err)
+					tl.errs[label]++
+					if tt != nil {
+						tt.Errors[label]++
+						if label == "overloaded" {
+							tt.Shed++
+						}
 					}
 				}
 			}
@@ -414,6 +491,23 @@ func RunEvents(ctx context.Context, target Target, cfg Config, events []Event) (
 		}
 		for k, s := range tallies[i].qwait {
 			qwaits[k] = append(qwaits[k], s...)
+		}
+		for name, t := range tallies[i].tenants {
+			if rep.PerTenant == nil {
+				rep.PerTenant = make(map[string]TenantReport)
+			}
+			agg := rep.PerTenant[name]
+			agg.Events += t.Events
+			agg.Ops += t.Ops
+			agg.OpsOK += t.OpsOK
+			agg.Shed += t.Shed
+			for k, v := range t.Errors {
+				if agg.Errors == nil {
+					agg.Errors = make(map[string]uint64)
+				}
+				agg.Errors[k] += v
+			}
+			rep.PerTenant[name] = agg
 		}
 	}
 	if elapsed > 0 {

@@ -1,0 +1,34 @@
+package obs
+
+import "context"
+
+// TenantHeader is the HTTP header carrying a request's tenant identity
+// end to end: clients send it (client.WithTenant), the daemon copies it
+// into the request context, and the cluster layer keys admission
+// control, SLO classes, and per-tenant stats off it.
+const TenantHeader = "X-Attache-Tenant"
+
+// tenantKey keys the tenant identity in a context. It lives here — the
+// shared observability substrate — so the HTTP client, the serve layer,
+// the load generator, and the cluster all agree on one key without
+// import cycles.
+type tenantKey struct{}
+
+// ContextWithTenant returns a child context carrying tenant. Ops
+// submitted to a cluster with it are attributed to that tenant; requests
+// made by the HTTP client with it carry the X-Attache-Tenant header.
+func ContextWithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFromContext returns the context's tenant, or "".
+func TenantFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

@@ -79,7 +79,7 @@ func (m *metricsSet) observe(endpoint string, code int, d time.Duration) {
 // renderMetrics emits the Prometheus text exposition (version 0.0.4) for
 // the engine snapshot plus the HTTP-layer counters.
 func (s *Server) renderMetrics() string {
-	snap := s.eng.StatsSnapshot()
+	snap := s.cl.EngineSnapshot()
 	var b strings.Builder
 
 	gauge := func(name, help string, v float64) {
@@ -106,13 +106,33 @@ func (s *Server) renderMetrics() string {
 	gauge("attached_ra_occupancy", "Lines currently parked in the Replacement Area.", float64(t.RAOccupancy))
 	gauge("attached_predictor_accuracy", "COPR running accuracy, reads-weighted across shards.", t.PredictionAccuracy)
 	gauge("attached_bandwidth_savings_ratio", "Fraction of sub-rank transfers avoided vs uncompressed.", t.BandwidthSavings())
-	gauge("attached_shards", "Configured shard count.", float64(s.eng.Shards()))
+	gauge("attached_shards", "Configured shard count.", float64(s.cl.Shards()))
 	gauge("attached_sram_overhead_bytes", "Summed predictor+CID SRAM across shards.", float64(snap.SRAMBytes))
 	gauge("attached_uptime_seconds", "Seconds since the daemon started serving.", time.Since(s.started).Seconds())
+	gauge("attached_cluster_instances", "Engine instances behind the router.", float64(s.cl.Instances()))
+	gauge("attached_cluster_jain_fairness", "Jain fairness index over per-tenant successful throughput.", s.cl.JainFairness())
 
 	s.renderPerShard(&b, snap)
+	s.renderTenants(&b)
 	s.renderHTTP(&b)
 	return b.String()
+}
+
+// renderTenants emits per-tenant op counters; absent until the first
+// tenant-attributed request arrives.
+func (s *Server) renderTenants(b *strings.Builder) {
+	tenants := s.cl.TenantSnapshots()
+	if len(tenants) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP attached_tenant_ops_total Ops submitted, per tenant (including shed ops).\n# TYPE attached_tenant_ops_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(b, "attached_tenant_ops_total{tenant=%q,class=%q} %d\n", t.Tenant, t.Class, t.Ops)
+	}
+	fmt.Fprintf(b, "# HELP attached_tenant_shed_quota_total Ops refused by per-tenant admission control.\n# TYPE attached_tenant_shed_quota_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(b, "attached_tenant_shed_quota_total{tenant=%q,class=%q} %d\n", t.Tenant, t.Class, t.ShedQuota)
+	}
 }
 
 func (s *Server) renderPerShard(b *strings.Builder, snap shard.Snapshot) {
@@ -125,7 +145,7 @@ func (s *Server) renderPerShard(b *strings.Builder, snap shard.Snapshot) {
 		fmt.Fprintf(b, "attached_shard_lines{shard=\"%d\"} %d\n", i, sh.Lines)
 	}
 
-	gauges := s.eng.Gauges()
+	gauges := s.cl.Gauges()
 	fmt.Fprintf(b, "# HELP attached_shard_queue_depth Tasks buffered in the shard's pipeline queue.\n# TYPE attached_shard_queue_depth gauge\n")
 	for _, g := range gauges {
 		fmt.Fprintf(b, "attached_shard_queue_depth{shard=\"%d\"} %d\n", g.Shard, g.QueueDepth)

@@ -1,15 +1,24 @@
-// Package serve is the HTTP face of the sharded engine: the cmd/attached
+// Package serve is the HTTP face of the engine cluster: the cmd/attached
 // daemon is a thin wrapper around Server. Endpoints:
 //
 //	POST /v1/read    {"addr":42}                     -> {"addr":42,"data":"<base64 64B>"}
 //	POST /v1/write   {"addr":42,"data":"<base64>"}   -> {"addr":42,"ok":true}
 //	POST /v1/batch   ops as a JSON array, or one JSON object per line     -> per-op results
-//	GET  /v1/stats   engine snapshot (totals + per shard) as JSON
+//	GET  /v1/stats   versioned stats: schema v2 by default (nested engine/
+//	                 robust/telemetry/cluster/tenants sections), the
+//	                 deprecated v1 flat shape via ?v=1
 //	GET  /v1/trace/{id}  one traced request's pipeline timeline (Config.Obs)
 //	GET  /v1/trace   the most recent retained timelines
 //	GET  /healthz    liveness ("ok", or 503 once draining)
 //	GET  /metrics    Prometheus text exposition
 //	GET  /debug/pprof/*  runtime profiles (Config.EnablePprof)
+//
+// The server fronts a cluster.Cluster — one or many engines behind a
+// router. New wraps a single engine in a passthrough cluster (the
+// bit-identical 1-instance configuration); NewCluster serves a real
+// one. Data requests carrying an X-Attache-Tenant header run under that
+// tenant: the cluster applies its admission quota (over-quota batches
+// answer 429 like any shed) and books the ops to its SLO class.
 //
 // With Config.Obs set, the /v1 data endpoints are traced: a request
 // carrying an X-Attache-Trace header is always traced under that ID
@@ -54,6 +63,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"attache/internal/cluster"
 	"attache/internal/core"
 	"attache/internal/obs"
 	"attache/internal/shard"
@@ -125,9 +135,10 @@ type Recorder interface {
 	RecordOps(ops []shard.Op)
 }
 
-// Server serves one shard.Engine over HTTP.
+// Server serves a cluster.Cluster (possibly a 1-instance passthrough
+// around a single engine) over HTTP.
 type Server struct {
-	eng      *shard.Engine
+	cl       *cluster.Cluster
 	cfg      Config
 	mux      *http.ServeMux
 	metrics  *metricsSet
@@ -138,11 +149,25 @@ type Server struct {
 	addr    atomic.Value // string, set once listening
 }
 
-// New wires a server around eng. Call ListenAndServe to run it, or test
+// New wires a server around a single engine by wrapping it in a
+// 1-instance passthrough cluster — request-for-request identical to
+// serving the engine directly. Call ListenAndServe to run it, or test
 // against Handler directly.
 func New(eng *shard.Engine, cfg Config) *Server {
+	cl, err := cluster.Wrap([]*shard.Engine{eng}, cluster.Config{})
+	if err != nil {
+		// Unreachable: a 1-engine passthrough wrap cannot fail.
+		panic(err)
+	}
+	return NewCluster(cl, cfg)
+}
+
+// NewCluster wires a server around an existing cluster. The server takes
+// ownership: ListenAndServe closes the cluster (and its engines) on
+// drain.
+func NewCluster(cl *cluster.Cluster, cfg Config) *Server {
 	s := &Server{
-		eng:     eng,
+		cl:      cl,
 		cfg:     cfg.withDefaults(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
@@ -206,12 +231,12 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	if s.cfg.Obs != nil {
 		// Periodic queue-depth/in-flight gauges; the poller exits with ctx
 		// when the drain starts.
-		go s.cfg.Obs.PollGauges(ctx, s.cfg.GaugeInterval, s.eng.Gauges)
+		go s.cfg.Obs.PollGauges(ctx, s.cfg.GaugeInterval, s.cl.Gauges)
 	}
 
 	select {
 	case err := <-errc:
-		s.eng.Close()
+		s.cl.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -220,7 +245,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
 	err = srv.Shutdown(dctx) // drains in-flight requests
-	if cerr := s.eng.Close(); cerr != nil && !errors.Is(cerr, shard.ErrClosed) && err == nil {
+	if cerr := s.cl.Close(); cerr != nil && !errors.Is(cerr, shard.ErrClosed) && err == nil {
 		err = cerr
 	}
 	<-errc // Serve has returned http.ErrServerClosed
@@ -292,6 +317,11 @@ func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) ht
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if t := r.Header.Get(obs.TenantHeader); t != "" && traced {
+			// Data endpoints run under the request's tenant: the cluster
+			// keys admission, SLO class, and per-tenant stats off it.
+			r = r.WithContext(obs.ContextWithTenant(r.Context(), t))
+		}
 		var tr *obs.Trace
 		if o := s.cfg.Obs; o != nil && traced {
 			if hdr := r.Header.Get(obs.TraceHeader); hdr != "" {
@@ -418,7 +448,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Record != nil {
 		s.cfg.Record.RecordOps([]shard.Op{{Addr: *req.Addr}})
 	}
-	data, err := s.eng.ReadCtx(r.Context(), *req.Addr)
+	data, err := s.cl.ReadCtx(r.Context(), *req.Addr)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -438,7 +468,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Record != nil {
 		s.cfg.Record.RecordOps([]shard.Op{{Write: true, Addr: *req.Addr, Data: req.Data}})
 	}
-	if err := s.eng.WriteCtx(r.Context(), *req.Addr, req.Data); err != nil {
+	if err := s.cl.WriteCtx(r.Context(), *req.Addr, req.Data); err != nil {
 		s.writeErr(w, err)
 		return
 	}
@@ -527,7 +557,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Record != nil && len(ops) > 0 {
 		s.cfg.Record.RecordOps(ops)
 	}
-	res, err := s.eng.DoCtx(r.Context(), ops)
+	res, err := s.cl.DoCtx(r.Context(), ops)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -552,14 +582,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResp{Results: results, Failed: failed})
 }
 
+// handleStats serves the versioned stats document: schema v2 by default,
+// the deprecated v1 flat shape via ?v=1 (kept for one release; see
+// README). ?decisions=N additionally inlines the N most recent routing
+// decisions into the v2 cluster section.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.StatsSnapshot()
-	writeJSON(w, http.StatusOK, struct {
-		shard.Snapshot
-		Shards        int              `json:"shards"`
-		UptimeSeconds float64          `json:"uptime_seconds"`
-		Telemetry     []obs.ShardGauge `json:"telemetry"`
-	}{snap, s.eng.Shards(), time.Since(s.started).Seconds(), s.eng.Gauges()})
+	switch v := r.URL.Query().Get("v"); v {
+	case "", "2":
+		n := 0
+		if d := r.URL.Query().Get("decisions"); d != "" {
+			n, _ = strconv.Atoi(d)
+		}
+		writeJSON(w, http.StatusOK, s.statsV2(n))
+	case "1":
+		writeJSON(w, http.StatusOK, s.statsV1())
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errResp{Error: fmt.Sprintf("unknown stats schema version %q (want 1 or 2)", v)})
+	}
 }
 
 // handleTrace serves one traced request's timeline by ID

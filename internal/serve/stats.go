@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"time"
+
+	"attache/internal/cluster"
+	"attache/internal/core"
+	"attache/internal/obs"
+	"attache/internal/shard"
+)
+
+// statsV1 is the deprecated flat stats shape served under /v1/stats?v=1:
+// the engine snapshot's fields at the top level, plus daemon extras.
+// Built from the cluster's merged snapshot, so for a 1-instance cluster
+// it is byte-identical to what the pre-cluster daemon served.
+type statsV1 struct {
+	shard.Snapshot
+	Shards        int              `json:"shards"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Telemetry     []obs.ShardGauge `json:"telemetry"`
+}
+
+// statsV2 is the current stats document (schema_version 2): nested
+// sections instead of a flat blob, with per-instance, per-class, and
+// per-tenant breakdowns the cluster layer introduces.
+type statsV2 struct {
+	SchemaVersion int                      `json:"schema_version"`
+	Engine        engineSection            `json:"engine"`
+	Robust        shard.RobustStats        `json:"robust"`
+	Telemetry     telemetrySection         `json:"telemetry"`
+	Cluster       clusterSection           `json:"cluster"`
+	Tenants       []cluster.TenantSnapshot `json:"tenants"`
+}
+
+// engineSection is the storage-side view: merged totals plus each
+// instance's own engine snapshot.
+type engineSection struct {
+	Shards      int                `json:"shards"`
+	SRAMBytes   int                `json:"sram_bytes"`
+	Total       core.StatsSnapshot `json:"total"`
+	PerInstance []shard.Snapshot   `json:"per_instance"`
+}
+
+// telemetrySection is the daemon-side view: uptime and live queue
+// gauges (shard indices are global across instances).
+type telemetrySection struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Gauges        []obs.ShardGauge `json:"gauges"`
+}
+
+// clusterSection is the routing/SLO view: per-class latency quantiles,
+// the Jain fairness index over per-tenant throughput, and (on request)
+// recent routing decisions for counterfactual analysis.
+type clusterSection struct {
+	Instances    int                     `json:"instances"`
+	Router       string                  `json:"router"`
+	Classes      []cluster.ClassSnapshot `json:"classes"`
+	JainFairness float64                 `json:"jain_fairness"`
+	Decisions    []cluster.Decision      `json:"decisions,omitempty"`
+}
+
+func (s *Server) statsV1() statsV1 {
+	return statsV1{
+		Snapshot:      s.cl.EngineSnapshot(),
+		Shards:        s.cl.Shards(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Telemetry:     s.cl.Gauges(),
+	}
+}
+
+func (s *Server) statsV2(decisions int) statsV2 {
+	merged := s.cl.EngineSnapshot()
+	return statsV2{
+		SchemaVersion: 2,
+		Engine: engineSection{
+			Shards:      s.cl.Shards(),
+			SRAMBytes:   merged.SRAMBytes,
+			Total:       merged.Total,
+			PerInstance: s.cl.PerInstanceSnapshots(),
+		},
+		Robust: merged.Robust,
+		Telemetry: telemetrySection{
+			UptimeSeconds: time.Since(s.started).Seconds(),
+			Gauges:        s.cl.Gauges(),
+		},
+		Cluster: clusterSection{
+			Instances:    s.cl.Instances(),
+			Router:       s.cl.RouterName(),
+			Classes:      s.cl.ClassSnapshots(),
+			JainFairness: s.cl.JainFairness(),
+			Decisions:    s.cl.Decisions(decisions),
+		},
+		Tenants: s.cl.TenantSnapshots(),
+	}
+}

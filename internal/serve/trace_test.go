@@ -180,16 +180,33 @@ func TestAccessLogLevels(t *testing.T) {
 
 func TestStatsIncludesTelemetry(t *testing.T) {
 	srv, _ := newTracedServer(t, nil)
+
+	// Default schema (v2): gauges nested under telemetry.gauges.
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
 	var stats struct {
-		Telemetry []obs.ShardGauge `json:"telemetry"`
+		Telemetry struct {
+			Gauges []obs.ShardGauge `json:"gauges"`
+		} `json:"telemetry"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
 	}
-	if len(stats.Telemetry) != 2 {
-		t.Fatalf("stats telemetry = %+v, want 2 shards", stats.Telemetry)
+	if len(stats.Telemetry.Gauges) != 2 {
+		t.Fatalf("stats telemetry gauges = %+v, want 2 shards", stats.Telemetry.Gauges)
+	}
+
+	// Deprecated v1 keeps the flat telemetry list.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats?v=1", nil))
+	var v1 struct {
+		Telemetry []obs.ShardGauge `json:"telemetry"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if len(v1.Telemetry) != 2 {
+		t.Fatalf("v1 stats telemetry = %+v, want 2 shards", v1.Telemetry)
 	}
 }
 
