@@ -41,11 +41,13 @@ package attache
 
 import (
 	"context"
+	"io"
 
 	"attache/internal/copr"
 	"attache/internal/core"
 	"attache/internal/obs"
 	"attache/internal/shard"
+	"attache/internal/tier"
 )
 
 // LineSize is the memory-block granularity of the framework: one 64-byte
@@ -106,6 +108,22 @@ type RobustStats = shard.RobustStats
 // Engine's shard pipelines (per-op delay/error probabilities, per-batch
 // partial failure). The zero value disables injection. See WithFaultPlan.
 type FaultPlan = shard.FaultPlan
+
+// TierConfig configures an Engine's two-tier backend (see WithTiers):
+// near-tier capacity, replacement policy ("lru", "freq", "static"), and
+// the far-link cost model. The zero value (then WithDefaults) is an
+// unbounded-near LRU tier; NearLines 0 built through WithTiers means
+// zero near capacity (pure far passthrough).
+type TierConfig = tier.Config
+
+// TierSnapshot is the two-tier stats view an engine or cluster exposes
+// when running tiered: residency, per-tier traffic, promotions and
+// demotions, and the far-link cost model figures.
+type TierSnapshot = tier.Snapshot
+
+// TierLinkModel is the far-link cost model inside a TierConfig: added
+// latency, bandwidth multiplier, and per-byte energy weights.
+type TierLinkModel = tier.LinkModel
 
 // Observer is the observability hub an Engine (and the serve layer)
 // reports into: structured slog logging, sampled request tracing with
@@ -170,6 +188,7 @@ type settings struct {
 	maxLines   uint64
 	faults     FaultPlan
 	obs        *Observer
+	tiers      *TierConfig
 }
 
 // Option customizes a constructor. Options compose left to right; later
@@ -249,6 +268,22 @@ func WithFaultPlan(p FaultPlan) Option {
 	return func(s *settings) { s.faults = p }
 }
 
+// WithTiers puts a two-tier memory backend in front of each shard's
+// compressed memory: a bounded near tier holding hot lines uncompressed
+// (DRAM-speed, no far-link crossing) over the compressed far tier
+// reached across a modeled CXL-style link. The engine's StatsSnapshot
+// gains a Tiers section; Total then describes the far tier only. The
+// configured NearLines capacity is for the whole engine and is split
+// across shards. cfg.NearLines == 0 means a zero-capacity near tier —
+// bit-identical to the untiered engine. Ignored by NewMemoryWith.
+func WithTiers(cfg TierConfig) Option {
+	return func(s *settings) { s.tiers = &cfg }
+}
+
+// DefaultTierLink returns the default far-link cost model (250 ns added
+// latency, 1x bandwidth, DRAM-vs-CXL energy weights).
+func DefaultTierLink() TierLinkModel { return tier.DefaultLink() }
+
 // WithObserver attaches an observability hub to an Engine: requests
 // carrying a Trace in their context — and a sampled fraction of the
 // rest, per the observer's SampleRate — get per-stage pipeline spans
@@ -310,5 +345,27 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		MaxLines:   s.maxLines,
 		Faults:     s.faults,
 		Obs:        s.obs,
+		Tier:       s.tiers,
+	})
+}
+
+// RestoreEngine rebuilds an Engine from a snapv1 snapshot previously
+// written with Engine.WriteSnapshot (or attached -snapshot-on-drain),
+// so that every subsequent operation and stats read behaves exactly as
+// it would have on the original. The snapshot is authoritative for the
+// framework options, tier configuration, and shard count; the given
+// functional options may supply only runtime knobs (queue depth, fault
+// plan, observer, max lines). WithShards must be absent or match the
+// snapshot; WithTiers must be absent (the snapshot carries the tier
+// configuration).
+func RestoreEngine(r io.Reader, opts ...Option) (*Engine, error) {
+	s := apply(opts)
+	return shard.RestoreEngineFrom(r, shard.Config{
+		Shards:     s.shards,
+		QueueDepth: s.queueDepth,
+		MaxLines:   s.maxLines,
+		Faults:     s.faults,
+		Obs:        s.obs,
+		Tier:       s.tiers,
 	})
 }

@@ -60,6 +60,7 @@ import (
 	"attache/internal/obs"
 	"attache/internal/serve"
 	"attache/internal/shard"
+	"attache/internal/tier"
 	"attache/internal/workload"
 )
 
@@ -80,6 +81,16 @@ func main() {
 		maxBatch        = flag.Int("max-batch", 4096, "max ops per /v1/batch request")
 		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 		record          = flag.String("record", "", "capture offered ops to this tracev1 NDJSON file for later -replay")
+
+		// Tiered-memory + snapshot knobs. -tiers puts a near (uncompressed)
+		// tier in front of each shard's compressed memory, modeling a
+		// DRAM-over-CXL split; -snapshot-on-drain and -restore round-trip
+		// the full engine state (memory contents, predictor state, tier
+		// residency) through a snapv1 image so a restart is behaviorally
+		// seamless.
+		tiers           = flag.String("tiers", "", `two-tier backend spec, "near=LINES[,policy=lru|freq|static][,freq-threshold=N][,freq-decay=N][,pin=PREFIX@SHIFT][,lat=NS][,bw=MULT][,near-energy=PJ][,far-energy=PJ]" (near=-1 = unbounded)`)
+		snapshotOnDrain = flag.String("snapshot-on-drain", "", "write a snapv1 state snapshot to this path after the drain completes")
+		restore         = flag.String("restore", "", "restore engine state from this snapv1 snapshot at startup (snapshot is authoritative for options, tier config, shard and instance count)")
 
 		// Cluster knobs: N engine instances behind a router, per-tenant
 		// admission quotas, and SLO classes. The default (1 instance,
@@ -151,14 +162,42 @@ func main() {
 	if err != nil {
 		log.Fatalf("attached: -classes: %v", err)
 	}
-	cl, err := cluster.New(opts, shardCfg, *instances, cluster.Config{
+	if *tiers != "" {
+		tc, err := tier.ParseSpec(*tiers)
+		if err != nil {
+			log.Fatalf("attached: -tiers: %v", err)
+		}
+		shardCfg.Tier = tc
+	}
+	clusterCfg := cluster.Config{
 		Router:       *router,
 		Quotas:       quotaMap,
 		DefaultQuota: fallback,
 		Classes:      classMap,
-	})
-	if err != nil {
-		log.Fatalf("attached: %v", err)
+	}
+	var cl *cluster.Cluster
+	if *restore != "" {
+		if *tiers != "" {
+			log.Fatalf("attached: -restore and -tiers are mutually exclusive (the snapshot carries the tier configuration)")
+		}
+		// The snapshot is authoritative for shard and instance count;
+		// -shards and -cluster are ignored on restore.
+		shardCfg.Shards = 0
+		f, err := os.Open(*restore)
+		if err != nil {
+			log.Fatalf("attached: -restore: %v", err)
+		}
+		cl, err = cluster.RestoreFrom(f, shardCfg, clusterCfg)
+		f.Close()
+		if err != nil {
+			log.Fatalf("attached: -restore %s: %v", *restore, err)
+		}
+		logger.Info("restored", "path", *restore, "instances", cl.Instances(), "shards", cl.Shards())
+	} else {
+		cl, err = cluster.New(opts, shardCfg, *instances, clusterCfg)
+		if err != nil {
+			log.Fatalf("attached: %v", err)
+		}
 	}
 
 	var recorder *workload.TraceWriter
@@ -211,6 +250,20 @@ func main() {
 		logger.Info("capture written", "path", *record, "events", recorder.Events())
 	}
 
+	if *snapshotOnDrain != "" {
+		// The engine is closed (drained) here, so the export is a final,
+		// globally exact image. Write-then-rename so a crash mid-write
+		// never leaves a truncated snapshot at the target path.
+		if werr := writeSnapshotFile(cl, *snapshotOnDrain); werr != nil {
+			logger.Warn("snapshot-on-drain failed", "path", *snapshotOnDrain, "err", werr)
+			if err == nil {
+				err = werr
+			}
+		} else {
+			logger.Info("snapshot written", "path", *snapshotOnDrain)
+		}
+	}
+
 	snap := cl.EngineSnapshot().Total
 	logger.Info("drained",
 		"reads", snap.Reads, "writes", snap.Writes, "lines", snap.Lines,
@@ -221,6 +274,26 @@ func main() {
 	if err != nil {
 		log.Fatalf("attached: %v", err)
 	}
+}
+
+// writeSnapshotFile writes the cluster's snapv1 image to path via a
+// same-directory temp file and an atomic rename.
+func writeSnapshotFile(cl *cluster.Cluster, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cl.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // parseQuota parses "rate[:burst]" into a Quota, e.g. "5000" or

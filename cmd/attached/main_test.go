@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"attache/internal/cluster"
+	"attache/internal/core"
+	"attache/internal/shard"
 )
 
 func TestParseQuota(t *testing.T) {
@@ -55,5 +59,41 @@ func TestParseClasses(t *testing.T) {
 		if _, err := parseClasses(bad); err == nil {
 			t.Errorf("parseClasses(%q) accepted", bad)
 		}
+	}
+}
+
+// TestWriteSnapshotFile: the drain snapshot lands atomically (no .tmp
+// residue) and restores, and a doomed path fails without side effects.
+func TestWriteSnapshotFile(t *testing.T) {
+	cl, err := cluster.New(core.DefaultOptions(), shard.Config{Shards: 2}, 1, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	line := make([]byte, core.LineSize)
+	if err := cl.Write(1, line); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "drain.snap")
+	if err := writeSnapshotFile(cl, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	re, err := cluster.RestoreFrom(f, shard.Config{}, cluster.Config{})
+	if err != nil {
+		t.Fatalf("written snapshot does not restore: %v", err)
+	}
+	re.Close()
+
+	if err := writeSnapshotFile(cl, filepath.Join(t.TempDir(), "missing", "x.snap")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
 	}
 }

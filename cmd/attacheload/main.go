@@ -64,6 +64,7 @@ import (
 	"attache/client"
 	"attache/internal/loadgen"
 	"attache/internal/obs"
+	"attache/internal/tier"
 	"attache/internal/workload"
 )
 
@@ -93,6 +94,7 @@ func main() {
 		// In-process engine shape (ignored with -target).
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shard count")
 		queueDepth = flag.Int("queue-depth", 64, "per-shard queue depth")
+		tierSpec   = flag.String("tiers", "", `two-tier backend spec for the in-process engine, "near=LINES[,policy=lru|freq|static]..." (same syntax as attached -tiers; the report gains a tier section)`)
 
 		// Chaos knobs (in-process only; ignored with -target).
 		faultSeed     = flag.Int64("fault-seed", 1, "fault-injection seed")
@@ -197,6 +199,9 @@ func main() {
 			logger.Warn("trace-queue-wait ignored: traces do not cross the HTTP boundary", "target", *target)
 			cfg.TraceQueueWait = false
 		}
+		if *tierSpec != "" {
+			logger.Warn("tiers ignored: the tier config belongs to the daemon (attached -tiers)", "target", *target)
+		}
 		tgt = client.New(*target, client.WithMaxRetries(0))
 	} else {
 		opts := []attache.Option{
@@ -209,6 +214,13 @@ func main() {
 				Delay:    *faultDelayDur,
 				PartialP: *faultPartial,
 			}),
+		}
+		if *tierSpec != "" {
+			tc, err := tier.ParseSpec(*tierSpec)
+			if err != nil {
+				log.Fatalf("attacheload: -tiers: %v", err)
+			}
+			opts = append(opts, attache.WithTiers(*tc))
 		}
 		if *queueWait {
 			// A rate-0 observer never samples on its own but makes the
@@ -245,6 +257,14 @@ func main() {
 		return
 	}
 	printReport(rep)
+}
+
+// tierCap renders a near-tier capacity (-1 = unbounded).
+func tierCap(n int64) string {
+	if n < 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 func printReport(rep loadgen.Report) {
@@ -284,6 +304,15 @@ func printReport(rep loadgen.Report) {
 	}
 	if len(labels) == 0 {
 		fmt.Println("errors         none")
+	}
+
+	if t := rep.Tiers; t != nil {
+		fmt.Printf("tiers  %-12s near %d resident / %s cap, far %d resident\n",
+			t.Policy, t.NearResident, tierCap(t.NearCapacity), t.FarResident)
+		fmt.Printf("tier traffic   near %d reads %d writes, far %d reads %d writes, %d promoted %d demoted\n",
+			t.NearReads, t.NearWrites, t.FarReads, t.FarWrites, t.Promotions, t.Demotions)
+		fmt.Printf("far link       %.0f bytes, %.0fµs modeled latency, %.0f pJ total energy\n",
+			t.FarLinkBytes, t.FarLatencyNs/1e3, t.EnergyPJ)
 	}
 
 	if len(rep.PerTenant) > 0 {

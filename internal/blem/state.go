@@ -1,0 +1,65 @@
+package blem
+
+import "fmt"
+
+// State is the serializable image of a BLEM engine: the CID value, the
+// touched Replacement Area entries, and the stat counters. The snapv1
+// codec persists it so a restored engine classifies lines and counts
+// RA traffic exactly like the original.
+//
+// The CID is recorded even though NewEngine derives it from the seed:
+// a snapshot must stay authoritative if the derivation ever changes.
+type State struct {
+	CID uint16
+	RA  map[uint64]bool
+	// Stats holds the seven counters in declaration order: Writes,
+	// CompressedWrites, Collisions, RAWrites, Reads, CollisionReads,
+	// RAReads.
+	Stats [7]uint64
+}
+
+// ExportState captures the engine's current state. The RA map is copied,
+// so the snapshot stays stable while the engine keeps serving.
+func (e *Engine) ExportState() State {
+	ra := make(map[uint64]bool, len(e.ra.bits))
+	for k, v := range e.ra.bits {
+		ra[k] = v
+	}
+	return State{
+		CID: e.cid,
+		RA:  ra,
+		Stats: [7]uint64{
+			e.Stats.Writes.Value(),
+			e.Stats.CompressedWrites.Value(),
+			e.Stats.Collisions.Value(),
+			e.Stats.RAWrites.Value(),
+			e.Stats.Reads.Value(),
+			e.Stats.CollisionReads.Value(),
+			e.Stats.RAReads.Value(),
+		},
+	}
+}
+
+// RestoreState overwrites the engine's CID, Replacement Area, and
+// counters from a snapshot. The CID must fit the engine's configured
+// width — a wider value means the snapshot came from an incompatible
+// configuration.
+func (e *Engine) RestoreState(st State) error {
+	if st.CID >= 1<<uint(e.cidBits) {
+		return fmt.Errorf("blem: snapshot CID %#x does not fit %d bits", st.CID, e.cidBits)
+	}
+	e.cid = st.CID
+	bits := make(map[uint64]bool, len(st.RA))
+	for k, v := range st.RA {
+		bits[k] = v
+	}
+	e.ra = &ReplacementArea{bits: bits}
+	e.Stats.Writes.Restore(st.Stats[0])
+	e.Stats.CompressedWrites.Restore(st.Stats[1])
+	e.Stats.Collisions.Restore(st.Stats[2])
+	e.Stats.RAWrites.Restore(st.Stats[3])
+	e.Stats.Reads.Restore(st.Stats[4])
+	e.Stats.CollisionReads.Restore(st.Stats[5])
+	e.Stats.RAReads.Restore(st.Stats[6])
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"attache/internal/core"
 	"attache/internal/obs"
 	"attache/internal/shard"
+	"attache/internal/tier"
 )
 
 // Config shapes a cluster around its engines.
@@ -340,6 +341,12 @@ func (c *Cluster) EngineSnapshot() shard.Snapshot {
 		merged.Robust.Canceled += s.Robust.Canceled
 		merged.Robust.InjectedErrors += s.Robust.InjectedErrors
 		merged.Robust.InjectedDelays += s.Robust.InjectedDelays
+		if s.Tiers != nil {
+			if merged.Tiers == nil {
+				merged.Tiers = &tier.Snapshot{}
+			}
+			merged.Tiers.Accumulate(*s.Tiers)
+		}
 	}
 	for _, s := range merged.PerShard {
 		merged.Total.Accumulate(s)

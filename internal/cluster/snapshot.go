@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"attache/internal/shard"
+	"attache/internal/snap"
+)
+
+// ExportState captures every instance's serializable state, instance
+// order preserved. Each instance's cut is internally consistent (all of
+// its shard locks held at once); instances are exported one after
+// another, so cross-instance skew is possible while traffic flows —
+// take the snapshot on a drained cluster for a globally exact image.
+func (c *Cluster) ExportState() *snap.ClusterState {
+	st := &snap.ClusterState{Engines: make([]*snap.EngineState, len(c.engines))}
+	for i, e := range c.engines {
+		st.Engines[i] = e.ExportState()
+	}
+	return st
+}
+
+// WriteSnapshot serializes the whole cluster as one snapv1 snapshot.
+// Safe at any time, including after Close.
+func (c *Cluster) WriteSnapshot(out io.Writer) error {
+	return snap.Encode(out, c.ExportState())
+}
+
+// Restore rebuilds a cluster from a snapshot: one engine per serialized
+// instance (each restored via shard.RestoreEngine, so the snapshot is
+// authoritative for options, tier configuration, and shard count),
+// fronted by cfg's router and admission control. Router and admission
+// state are rebuilt fresh — they are load-balancing hints, not
+// behavioral state, and are not part of snapv1.
+func Restore(st *snap.ClusterState, shardCfg shard.Config, cfg Config) (*Cluster, error) {
+	if len(st.Engines) == 0 {
+		return nil, fmt.Errorf("cluster: snapshot has no engines: %w", snap.ErrCorrupt)
+	}
+	engines := make([]*shard.Engine, len(st.Engines))
+	for i, es := range st.Engines {
+		eng, err := shard.RestoreEngine(es, shardCfg)
+		if err != nil {
+			for _, e := range engines[:i] {
+				e.Close()
+			}
+			return nil, fmt.Errorf("cluster: restoring instance %d: %w", i, err)
+		}
+		engines[i] = eng
+	}
+	c, err := Wrap(engines, cfg)
+	if err != nil {
+		for _, e := range engines {
+			e.Close()
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// RestoreFrom decodes a snapv1 snapshot from r and restores the
+// cluster it holds.
+func RestoreFrom(r io.Reader, shardCfg shard.Config, cfg Config) (*Cluster, error) {
+	cs, err := snap.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return Restore(cs, shardCfg, cfg)
+}

@@ -33,6 +33,7 @@ import (
 	"attache/internal/core"
 	"attache/internal/obs"
 	"attache/internal/shard"
+	"attache/internal/tier"
 )
 
 // Target is anything the harness can drive — *shard.Engine satisfies it
@@ -291,6 +292,16 @@ type Report struct {
 	// Populated only when events carry tenants (Config.Tenants or
 	// AssignTenants).
 	PerTenant map[string]TenantReport `json:"per_tenant,omitempty"`
+	// Tiers is the target's two-tier stats view after the run. Populated
+	// only for in-process targets running a tiered backend (the target
+	// implements TierSnapshot and reports one).
+	Tiers *tier.Snapshot `json:"tiers,omitempty"`
+}
+
+// tierReporter is implemented by targets that can report a two-tier
+// stats view (shard.Engine when built with a tier config).
+type tierReporter interface {
+	TierSnapshot() (tier.Snapshot, bool)
 }
 
 // TenantReport is one tenant's slice of a run.
@@ -523,6 +534,11 @@ func RunEvents(ctx context.Context, target Target, cfg Config, events []Event) (
 		rep.QueueWait = make(map[string]Quantiles)
 		for k, s := range qwaits {
 			rep.QueueWait[k.String()] = quantiles(s)
+		}
+	}
+	if tr, ok := target.(tierReporter); ok {
+		if ts, tiered := tr.TierSnapshot(); tiered {
+			rep.Tiers = &ts
 		}
 	}
 	return rep, nil

@@ -112,6 +112,20 @@ func (s *Server) renderMetrics() string {
 	gauge("attached_cluster_instances", "Engine instances behind the router.", float64(s.cl.Instances()))
 	gauge("attached_cluster_jain_fairness", "Jain fairness index over per-tenant successful throughput.", s.cl.JainFairness())
 
+	if tr := snap.Tiers; tr != nil {
+		counter("attached_tier_near_reads_total", "Line reads served from the near (uncompressed) tier.", tr.NearReads)
+		counter("attached_tier_near_writes_total", "Line writes absorbed by the near tier.", tr.NearWrites)
+		counter("attached_tier_far_reads_total", "Line reads that crossed the far link.", tr.FarReads)
+		counter("attached_tier_far_writes_total", "Line writes that crossed the far link.", tr.FarWrites)
+		counter("attached_tier_promotions_total", "Lines promoted far-to-near.", tr.Promotions)
+		counter("attached_tier_demotions_total", "Lines demoted near-to-far.", tr.Demotions)
+		gauge("attached_tier_near_resident", "Lines currently resident in the near tier.", float64(tr.NearResident))
+		gauge("attached_tier_far_resident", "Lines currently resident in the far tier.", float64(tr.FarResident))
+		gauge("attached_tier_far_link_bytes", "Modeled bytes moved across the far link (bandwidth multiplier applied).", tr.FarLinkBytes)
+		gauge("attached_tier_far_latency_ns", "Modeled cumulative far-link latency in nanoseconds.", tr.FarLatencyNs)
+		gauge("attached_tier_energy_pj", "Modeled cumulative memory-traffic energy in picojoules.", tr.EnergyPJ)
+	}
+
 	s.renderPerShard(&b, snap)
 	s.renderTenants(&b)
 	s.renderHTTP(&b)

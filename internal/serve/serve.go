@@ -9,6 +9,8 @@
 //	                 deprecated v1 flat shape via ?v=1
 //	GET  /v1/trace/{id}  one traced request's pipeline timeline (Config.Obs)
 //	GET  /v1/trace   the most recent retained timelines
+//	GET  /v1/snapshot  the cluster's full snapv1 state image
+//	                 (octet-stream); restore it with attached -restore
 //	GET  /healthz    liveness ("ok", or 503 once draining)
 //	GET  /metrics    Prometheus text exposition
 //	GET  /debug/pprof/*  runtime profiles (Config.EnablePprof)
@@ -49,6 +51,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -173,7 +176,7 @@ func NewCluster(cl *cluster.Cluster, cfg Config) *Server {
 		started: time.Now(),
 		readyCh: make(chan struct{}),
 	}
-	s.metrics = newMetricsSet("/v1/read", "/v1/write", "/v1/batch", "/v1/stats", "/v1/trace", "/healthz", "/metrics")
+	s.metrics = newMetricsSet("/v1/read", "/v1/write", "/v1/batch", "/v1/stats", "/v1/trace", "/v1/snapshot", "/healthz", "/metrics")
 	// The three data endpoints go through the engine pipeline, so they
 	// are the traced ones; the introspection endpoints are not.
 	s.mux.HandleFunc("/v1/read", s.instrument("/v1/read", true, post(s.handleRead)))
@@ -182,6 +185,7 @@ func NewCluster(cl *cluster.Cluster, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", false, s.handleStats))
 	s.mux.HandleFunc("/v1/trace/", s.instrument("/v1/trace", false, s.handleTrace))
 	s.mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", false, s.handleTrace))
+	s.mux.HandleFunc("/v1/snapshot", s.instrument("/v1/snapshot", false, s.handleSnapshot))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", false, s.handleMetrics))
 	if s.cfg.EnablePprof {
@@ -628,6 +632,29 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tl)
+}
+
+// handleSnapshot streams the cluster's snapv1 state image. Taking it
+// quiesces every shard for the duration (each instance's cut is
+// internally consistent), so this is an admin endpoint, not a data-path
+// one — on a loaded cluster prefer -snapshot-on-drain. The bytes are
+// buffered before the first write so an export failure still maps to a
+// clean 500 instead of a torn body.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errResp{Error: "use GET"})
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.cl.WriteSnapshot(&buf); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errResp{Error: "snapshot: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("Content-Disposition", `attachment; filename="attache.snap"`)
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"attache/internal/core"
 	"attache/internal/obs"
 	"attache/internal/shard"
+	"attache/internal/tier"
 )
 
 // statsV1 is the deprecated flat stats shape served under /v1/stats?v=1:
@@ -39,6 +40,12 @@ type engineSection struct {
 	SRAMBytes   int                `json:"sram_bytes"`
 	Total       core.StatsSnapshot `json:"total"`
 	PerInstance []shard.Snapshot   `json:"per_instance"`
+	// Tiers is the merged two-tier view (near/far residency, tier
+	// traffic, far-link cost model figures), present only when the
+	// cluster runs a tiered backend. Per-instance tier sections live in
+	// each PerInstance snapshot. On tiered engines Total describes the
+	// far (compressed) tier; near-tier accounting is all here.
+	Tiers *tier.Snapshot `json:"tiers,omitempty"`
 }
 
 // telemetrySection is the daemon-side view: uptime and live queue
@@ -77,6 +84,7 @@ func (s *Server) statsV2(decisions int) statsV2 {
 			SRAMBytes:   merged.SRAMBytes,
 			Total:       merged.Total,
 			PerInstance: s.cl.PerInstanceSnapshots(),
+			Tiers:       merged.Tiers,
 		},
 		Robust: merged.Robust,
 		Telemetry: telemetrySection{

@@ -46,6 +46,8 @@ import (
 
 	"attache/internal/core"
 	"attache/internal/obs"
+	"attache/internal/snap"
+	"attache/internal/tier"
 )
 
 // ErrClosed reports an operation on an engine after Close.
@@ -67,6 +69,12 @@ type Config struct {
 	// Faults, when enabled, injects seeded delays/errors/partial-batch
 	// failures into every shard's pipeline. Off (zero) by default.
 	Faults FaultPlan
+	// Tier, when non-nil, fronts every shard's compressed Memory with an
+	// uncompressed near tier (the CXL scenario): Tier.NearLines is the
+	// engine-level capacity, split across shards. nil keeps the classic
+	// single-tier engine, and a zero-capacity near tier is bit-identical
+	// to it by construction.
+	Tier *tier.Config
 	// Obs, when non-nil, turns on pipeline tracing: requests carrying a
 	// trace in their context (and a sampled fraction of the rest, per the
 	// observer's sample rate) get enqueue/dequeue/execute/respond spans
@@ -121,12 +129,13 @@ type Result struct {
 // submissions; execution checks it once per task so a cancelled task
 // frees its ring slot without executing.
 type task struct {
-	ctx  context.Context
-	ops  []Op
-	idx  []int // positions of this shard's ops in ops / res
-	res  []Result
-	snap *core.StatsSnapshot
-	done *sync.WaitGroup
+	ctx      context.Context
+	ops      []Op
+	idx      []int // positions of this shard's ops in ops / res
+	res      []Result
+	snap     *core.StatsSnapshot
+	tierSnap *tier.Snapshot // filled alongside snap on tiered engines
+	done     *sync.WaitGroup
 
 	// tr, when non-nil, receives this task's pipeline spans; enq is the
 	// trace-relative enqueue instant the dequeue span starts from. Both
@@ -181,8 +190,12 @@ type RobustStats struct {
 // maintained unconditionally (two atomic ops per task, no allocation) so
 // Engine.Gauges always has live data.
 type worker struct {
-	id     int
-	mem    *core.Memory
+	id  int
+	mem *core.Memory
+	// tier, when non-nil, is the two-tier front over mem (which is then
+	// the far tier); ops dispatch through it and mem's own counters
+	// describe far-tier traffic only.
+	tier   *tier.Memory
 	inj    *injector
 	robust *robustCounters
 
@@ -316,6 +329,9 @@ func (w *worker) drain() {
 func (w *worker) execute(t *task) {
 	if t.snap != nil {
 		*t.snap = w.mem.StatsSnapshot()
+		if t.tierSnap != nil && w.tier != nil {
+			*t.tierSnap = w.tier.Snapshot()
+		}
 		t.done.Done()
 		return
 	}
@@ -365,7 +381,13 @@ func (w *worker) execute(t *task) {
 			}
 		}
 		op := t.ops[j]
-		if op.Write {
+		if w.tier != nil {
+			if op.Write {
+				t.res[j].Err = w.tier.Write(op.Addr, op.Data)
+			} else {
+				t.res[j].Data, t.res[j].Err = w.tier.Read(op.Addr)
+			}
+		} else if op.Write {
 			t.res[j].Err = w.mem.Write(op.Addr, op.Data)
 		} else {
 			t.res[j].Data, t.res[j].Err = w.mem.Read(op.Addr)
@@ -383,6 +405,7 @@ func (w *worker) execute(t *task) {
 // are safe for concurrent use by any number of goroutines.
 type Engine struct {
 	cfg       Config
+	opts      core.Options // base options; shard i derives its seed from them
 	shards    []*worker
 	sramBytes int
 	robust    robustCounters
@@ -400,6 +423,27 @@ type Engine struct {
 // configured from opts. Shard i derives its seed from opts.Seed so a
 // 1-shard engine is bit-identical to a plain NewMemory(opts).
 func New(opts core.Options, cfg Config) (*Engine, error) {
+	return build(opts, cfg, nil)
+}
+
+// shardTierConfig splits an engine-level tier configuration across
+// shards: a positive near capacity distributes as evenly as possible
+// (low shards take the remainder); zero and unbounded pass through.
+func shardTierConfig(tc tier.Config, i, shards int) tier.Config {
+	if tc.NearLines > 0 {
+		per := tc.NearLines / int64(shards)
+		if int64(i) < tc.NearLines%int64(shards) {
+			per++
+		}
+		tc.NearLines = per
+	}
+	return tc
+}
+
+// build is the shared constructor behind New and RestoreEngine: st, when
+// non-nil, supplies each shard's memory and tier state instead of
+// starting empty.
+func build(opts core.Options, cfg Config, st *snap.EngineState) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("shard: shard count %d not in [1,∞): %w", cfg.Shards, core.ErrOutOfRange)
@@ -410,7 +454,12 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 	if err := cfg.Faults.validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, shards: make([]*worker, cfg.Shards), obs: cfg.Obs}
+	if cfg.Tier != nil {
+		if err := cfg.Tier.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{cfg: cfg, opts: opts, shards: make([]*worker, cfg.Shards), obs: cfg.Obs}
 	e.states.New = func() any {
 		return &submitState{perShard: make([][]int, cfg.Shards)}
 	}
@@ -424,14 +473,40 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 		// must match a plain Memory); later shards mix in their index so
 		// each gets a distinct CID and scrambler key.
 		o.Seed = opts.Seed ^ int64(uint64(i)*0x9E3779B97F4A7C15)
-		mem, err := core.NewMemory(o)
+		var mem *core.Memory
+		var err error
+		if st != nil {
+			mem, err = core.RestoreMemory(o, st.Shards[i].Mem)
+		} else {
+			mem, err = core.NewMemory(o)
+		}
 		if err != nil {
 			return nil, err
+		}
+		var tm *tier.Memory
+		if cfg.Tier != nil {
+			tc := shardTierConfig(*cfg.Tier, i, cfg.Shards)
+			if st != nil {
+				if st.Shards[i].Tier == nil {
+					return nil, fmt.Errorf("shard: snapshot shard %d has no tier state but the engine is tiered: %w",
+						i, snap.ErrCorrupt)
+				}
+				tm, err = tier.RestoreMemory(tc, mem, st.Shards[i].Tier)
+			} else {
+				tm, err = tier.NewMemory(tc, mem)
+			}
+			if err != nil {
+				return nil, err
+			}
+		} else if st != nil && st.Shards[i].Tier != nil {
+			return nil, fmt.Errorf("shard: snapshot shard %d carries tier state but the engine is untiered: %w",
+				i, snap.ErrCorrupt)
 		}
 		e.sramBytes += mem.Framework().StorageOverheadBytes()
 		w := &worker{
 			id:     i,
 			mem:    mem,
+			tier:   tm,
 			ring:   make([]task, ringLen),
 			mask:   ringLen - 1,
 			depth:  uint64(cfg.QueueDepth),
@@ -443,6 +518,12 @@ func New(opts core.Options, cfg Config) (*Engine, error) {
 		e.shards[i] = w
 		e.wg.Add(1)
 		go w.run(&e.wg)
+	}
+	if st != nil {
+		e.robust.sheds.Store(st.Robust[0])
+		e.robust.canceled.Store(st.Robust[1])
+		e.robust.injectedErrs.Store(st.Robust[2])
+		e.robust.injectedDelays.Store(st.Robust[3])
 	}
 	return e, nil
 }
@@ -737,6 +818,10 @@ type Snapshot struct {
 	// cancellations, and injected faults. Ops counted here never touched
 	// a Memory, so they are disjoint from the per-shard counters.
 	Robust RobustStats `json:"robust"`
+	// Tiers, present only on tiered engines, merges the per-shard tier
+	// snapshots. On a tiered engine Total/PerShard describe the far
+	// (compressed) tier only; near-tier traffic lives here.
+	Tiers *tier.Snapshot `json:"tiers,omitempty"`
 }
 
 // StatsSnapshot captures a coherent per-shard snapshot: an idle shard is
@@ -755,6 +840,10 @@ func (e *Engine) StatsSnapshot() Snapshot {
 			InjectedDelays: e.robust.injectedDelays.Load(),
 		},
 	}
+	var perTier []tier.Snapshot
+	if e.cfg.Tier != nil {
+		perTier = make([]tier.Snapshot, len(e.shards))
+	}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -762,6 +851,9 @@ func (e *Engine) StatsSnapshot() Snapshot {
 		// are exclusive again.
 		for i, w := range e.shards {
 			snap.PerShard[i] = w.mem.StatsSnapshot()
+			if perTier != nil {
+				perTier[i] = w.tier.Snapshot()
+			}
 		}
 	} else {
 		var done sync.WaitGroup
@@ -769,13 +861,20 @@ func (e *Engine) StatsSnapshot() Snapshot {
 			if w.memMu.TryLock() {
 				if w.qlen.Load() == 0 {
 					snap.PerShard[i] = w.mem.StatsSnapshot()
+					if perTier != nil {
+						perTier[i] = w.tier.Snapshot()
+					}
 					w.memMu.Unlock()
 					continue
 				}
 				w.memMu.Unlock()
 			}
 			done.Add(1)
-			w.admitAlways(task{snap: &snap.PerShard[i], done: &done})
+			t := task{snap: &snap.PerShard[i], done: &done}
+			if perTier != nil {
+				t.tierSnap = &perTier[i]
+			}
+			w.admitAlways(t)
 		}
 		e.mu.RUnlock()
 		done.Wait()
@@ -783,7 +882,28 @@ func (e *Engine) StatsSnapshot() Snapshot {
 	for _, s := range snap.PerShard {
 		snap.Total.Accumulate(s)
 	}
+	if perTier != nil {
+		var ts tier.Snapshot
+		for _, s := range perTier {
+			ts.Accumulate(s)
+		}
+		snap.Tiers = &ts
+	}
 	return snap
+}
+
+// Tiered reports whether the engine runs the two-tier backend.
+func (e *Engine) Tiered() bool { return e.cfg.Tier != nil }
+
+// TierSnapshot reports the merged tier snapshot of a tiered engine; ok
+// is false on a classic single-tier engine. Coherence matches
+// StatsSnapshot (execution lock or marker per shard).
+func (e *Engine) TierSnapshot() (tier.Snapshot, bool) {
+	if e.cfg.Tier == nil {
+		return tier.Snapshot{}, false
+	}
+	s := e.StatsSnapshot()
+	return *s.Tiers, true
 }
 
 // Close drains every shard's ring and stops the shard goroutines.

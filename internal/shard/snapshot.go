@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"attache/internal/snap"
+)
+
+// ExportState captures the engine's complete serializable state as one
+// consistent cut: it acquires every shard's execution lock (in shard
+// order, so concurrent exports cannot deadlock), exports, then releases.
+// Traffic stalls for the duration — inline submitters fall back to the
+// rings and ring drains wait on the execution locks — but no op is ever
+// torn across the cut. It also works after Close (the locks are simply
+// uncontended), which is how -snapshot-on-drain captures final state.
+func (e *Engine) ExportState() *snap.EngineState {
+	st := &snap.EngineState{
+		Opts:   e.opts,
+		Shards: make([]snap.ShardState, len(e.shards)),
+	}
+	if e.cfg.Tier != nil {
+		tc := *e.cfg.Tier
+		st.Tier = &tc
+	}
+	for _, w := range e.shards {
+		w.memMu.Lock()
+	}
+	for i, w := range e.shards {
+		st.Shards[i].Mem = w.mem.ExportState()
+		if w.tier != nil {
+			st.Shards[i].Tier = w.tier.ExportState()
+		}
+	}
+	for _, w := range e.shards {
+		w.memMu.Unlock()
+	}
+	st.Robust = [4]uint64{
+		e.robust.sheds.Load(),
+		e.robust.canceled.Load(),
+		e.robust.injectedErrs.Load(),
+		e.robust.injectedDelays.Load(),
+	}
+	return st
+}
+
+// WriteSnapshot serializes the engine as a single-instance snapv1
+// snapshot. Safe at any time, including after Close.
+func (e *Engine) WriteSnapshot(out io.Writer) error {
+	return snap.Encode(out, &snap.ClusterState{Engines: []*snap.EngineState{e.ExportState()}})
+}
+
+// RestoreEngine rebuilds an engine from a snapshot so that every
+// subsequent operation (and stats read) behaves exactly as it would
+// have on the original. The snapshot is authoritative for the framework
+// options, the tier configuration, and the shard count; cfg supplies
+// only runtime knobs (queue depth, fault plan, observer, MaxLines).
+// cfg.Shards, if set, must match the snapshot; cfg.Tier must be nil.
+func RestoreEngine(st *snap.EngineState, cfg Config) (*Engine, error) {
+	if st == nil || len(st.Shards) == 0 {
+		return nil, fmt.Errorf("shard: snapshot has no shards: %w", snap.ErrCorrupt)
+	}
+	if cfg.Shards != 0 && cfg.Shards != len(st.Shards) {
+		return nil, fmt.Errorf("shard: configured %d shards but snapshot has %d", cfg.Shards, len(st.Shards))
+	}
+	if cfg.Tier != nil {
+		return nil, fmt.Errorf("shard: RestoreEngine takes the tier configuration from the snapshot; cfg.Tier must be nil")
+	}
+	cfg.Shards = len(st.Shards)
+	cfg.Tier = st.Tier
+	return build(st.Opts, cfg, st)
+}
+
+// RestoreEngineFrom decodes a single-instance snapv1 snapshot from r
+// and restores it. Multi-instance snapshots belong to the cluster
+// layer (cluster.Restore).
+func RestoreEngineFrom(r io.Reader, cfg Config) (*Engine, error) {
+	cs, err := snap.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(cs.Engines) != 1 {
+		return nil, fmt.Errorf("shard: snapshot holds %d engines, want 1 (use the cluster restore path)", len(cs.Engines))
+	}
+	return RestoreEngine(cs.Engines[0], cfg)
+}

@@ -1,0 +1,100 @@
+package snap_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"attache/internal/core"
+	"attache/internal/snap"
+	"attache/internal/tier"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false, "regenerate the checked-in fuzz seed corpus under testdata/fuzz/")
+
+// seedStates builds the hand-picked snapshot shapes the fuzzer starts
+// from: empty cluster, minimal untiered engine, tiered engine with every
+// section populated.
+func seedStates() []*snap.ClusterState {
+	minimal := &snap.EngineState{}
+	minimal.Opts.CIDBits = 3
+	minimal.Opts.DisablePredictor = true
+	minimal.Shards = []snap.ShardState{{Mem: &core.MemoryState{}}}
+
+	tiered := &snap.EngineState{
+		Tier:   &tier.Config{NearLines: 2, Policy: tier.PolicyFreq, FreqThreshold: 2, FreqDecayEvery: 8, Link: tier.DefaultLink()},
+		Robust: [4]uint64{1, 2, 3, 4},
+	}
+	tiered.Opts.CIDBits = 3
+	tiered.Opts.DisablePredictor = true
+	ms := core.MemoryState{}
+	ms.Blem.CID = 5
+	ms.Blem.RA = map[uint64]bool{7: true, 9: false}
+	ts := &tier.State{
+		Near:     []tier.NearLineState{{Addr: 3, Freq: 2}},
+		FarFreq:  []tier.FreqCount{{Addr: 1, Count: 1}, {Addr: 4, Count: 2}},
+		FreqOps:  5,
+		Counters: [6]uint64{1, 2, 3, 4, 5, 6},
+	}
+	tiered.Shards = []snap.ShardState{{Mem: &ms, Tier: ts}}
+
+	return []*snap.ClusterState{
+		{},
+		{Engines: []*snap.EngineState{minimal}},
+		{Engines: []*snap.EngineState{tiered}},
+	}
+}
+
+// FuzzSnapshotRoundTrip: the snapv1 decoder never panics on arbitrary
+// input, and — because it enforces canonical form — any input it
+// accepts re-encodes to exactly itself (decode∘encode is the identity
+// on the accepted set).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	for _, cs := range seedStates() {
+		f.Add(snap.EncodeBytes(cs))
+	}
+	f.Add([]byte("ATSNAP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs, err := snap.DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		enc := snap.EncodeBytes(cs)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted input is not canonical: re-encoded %d bytes differ from %d-byte input", len(enc), len(data))
+		}
+		again, err := snap.DecodeBytes(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(snap.EncodeBytes(again), enc) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}
+
+// TestWriteFuzzCorpus (with -update-corpus) materializes the seed
+// states as checked-in Go fuzz corpus files, so CI's fuzz smoke starts
+// from structurally valid snapshots even before any cached corpus
+// exists.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*updateCorpus {
+		t.Skip("run with -update-corpus to regenerate testdata/fuzz/FuzzSnapshotRoundTrip/")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSnapshotRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, cs := range seedStates() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", snap.EncodeBytes(cs))
+		path := filepath.Join(dir, fmt.Sprintf("seed-%d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}

@@ -1,0 +1,610 @@
+// Package snap implements snapv1, the versioned binary serialization of
+// a full engine: per-shard memory contents, BLEM state (CID +
+// Replacement Area), COPR predictor tables, traffic counters, and tier
+// residency. A snapshot restored through shard.RestoreEngine behaves
+// byte-identically to the engine it was taken from.
+//
+// Format (all integers little-endian):
+//
+//	magic "ATSNAP" | u16 version=1 | u32 engineCount | engines...
+//
+// Each engine serializes its core.Options (so restore can rebuild the
+// same framework), the engine-level robust counters, and one section
+// per shard. Maps (Replacement Area, freq counters) are sorted by
+// address, and stored lines are sorted by address, so encoding is
+// deterministic; the near-tier lines are the single exception — they
+// encode in recency order, least-recently-used first, because that
+// order is semantic. The decoder enforces sortedness, so for any bytes
+// it accepts, decode∘encode is the identity.
+//
+// Version-evolution rules: additions bump the u16 version; a decoder
+// rejects versions it does not know with ErrVersion (never guesses),
+// and every count field is validated against the remaining input before
+// allocation, so truncated or corrupted snapshots fail cleanly instead
+// of panicking or over-allocating.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"attache/internal/copr"
+	"attache/internal/core"
+	"attache/internal/tier"
+)
+
+// Version is the current snapv1 format version.
+const Version = 1
+
+var magic = [6]byte{'A', 'T', 'S', 'N', 'A', 'P'}
+
+// ErrCorrupt reports a snapshot the decoder cannot make sense of.
+var ErrCorrupt = errors.New("snap: corrupt snapshot")
+
+// ErrVersion reports a snapshot written by an unknown format version.
+var ErrVersion = errors.New("snap: unsupported snapshot version")
+
+// ShardState is one shard's serialized state.
+type ShardState struct {
+	Mem *core.MemoryState
+	// Tier is nil for untiered engines.
+	Tier *tier.State
+}
+
+// EngineState is one engine's serialized state: enough to rebuild the
+// framework (Opts, Tier) plus the per-shard contents.
+type EngineState struct {
+	Opts core.Options
+	// Tier is the engine-level tier configuration; nil means untiered.
+	Tier *tier.Config
+	// Robust holds sheds, canceled, injectedErrs, injectedDelays.
+	Robust [4]uint64
+	Shards []ShardState
+}
+
+// ClusterState is the top-level snapshot container: one EngineState per
+// cluster instance (a single-engine snapshot is a 1-element cluster).
+type ClusterState struct {
+	Engines []*EngineState
+}
+
+// ---------------------------------------------------------------------
+// encoding
+
+type writer struct {
+	b []byte
+}
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) raw(p []byte) { w.b = append(w.b, p...) }
+
+// EncodeBytes serializes a snapshot to its canonical byte form.
+func EncodeBytes(cs *ClusterState) []byte {
+	w := &writer{}
+	w.raw(magic[:])
+	w.u16(Version)
+	w.u32(uint32(len(cs.Engines)))
+	for _, e := range cs.Engines {
+		encodeEngine(w, e)
+	}
+	return w.b
+}
+
+// Encode writes the canonical serialization of cs to out.
+func Encode(out io.Writer, cs *ClusterState) error {
+	_, err := out.Write(EncodeBytes(cs))
+	return err
+}
+
+func encodeEngine(w *writer, e *EngineState) {
+	o := e.Opts
+	w.u32(uint32(o.CIDBits))
+	w.u64(uint64(o.Seed))
+	var flags uint8
+	if o.DisablePredictor {
+		flags |= 1
+	}
+	if o.ExtendedCompression {
+		flags |= 2
+	}
+	w.u8(flags)
+	p := o.Predictor
+	w.u64(uint64(p.MemorySize))
+	w.u32(uint32(p.GICounters))
+	w.u8(p.GIThreshold)
+	w.u32(uint32(p.PaPRBytes))
+	w.u32(uint32(p.PaPRWays))
+	w.u32(uint32(p.LiPRBytes))
+	w.u32(uint32(p.LiPRWays))
+	var en uint8
+	if p.EnableGI {
+		en |= 1
+	}
+	if p.EnablePaPR {
+		en |= 2
+	}
+	if p.EnableLiPR {
+		en |= 4
+	}
+	w.u8(en)
+
+	w.bool(e.Tier != nil)
+	if e.Tier != nil {
+		t := *e.Tier
+		w.u64(uint64(t.NearLines))
+		w.u8(uint8(len(t.Policy)))
+		w.raw([]byte(t.Policy))
+		w.u64(t.FreqThreshold)
+		w.u64(t.FreqDecayEvery)
+		w.u32(t.PinShift)
+		w.u64(t.PinPrefix)
+		w.f64(t.Link.FarLatencyNs)
+		w.f64(t.Link.FarBandwidthMult)
+		w.f64(t.Link.NearEnergyPerByte)
+		w.f64(t.Link.FarEnergyPerByte)
+	}
+	for _, r := range e.Robust {
+		w.u64(r)
+	}
+	w.u32(uint32(len(e.Shards)))
+	for i := range e.Shards {
+		encodeShard(w, &e.Shards[i])
+	}
+}
+
+func encodeShard(w *writer, s *ShardState) {
+	m := s.Mem
+	w.u64(uint64(len(m.Lines)))
+	for _, l := range m.Lines {
+		w.u64(l.Addr)
+		var flags uint8
+		if l.Compressed {
+			flags |= 1
+		}
+		if l.Collision {
+			flags |= 2
+		}
+		w.u8(flags)
+		w.raw(l.Blocks[0][:])
+		w.raw(l.Blocks[1][:])
+	}
+	for _, v := range []uint64{
+		m.Stats.Reads, m.Stats.Writes, m.Stats.BlocksRead, m.Stats.BlocksWritten,
+		m.Stats.Mispredictions, m.Stats.RAAccesses, m.Stats.CompressedLines, m.Stats.RAOccupancy,
+	} {
+		w.u64(v)
+	}
+
+	w.u16(m.Blem.CID)
+	raAddrs := make([]uint64, 0, len(m.Blem.RA))
+	for a := range m.Blem.RA {
+		raAddrs = append(raAddrs, a)
+	}
+	sort.Slice(raAddrs, func(i, j int) bool { return raAddrs[i] < raAddrs[j] })
+	w.u64(uint64(len(raAddrs)))
+	for _, a := range raAddrs {
+		w.u64(a)
+		w.bool(m.Blem.RA[a])
+	}
+	for _, v := range m.Blem.Stats {
+		w.u64(v)
+	}
+
+	w.bool(m.Copr != nil)
+	if m.Copr != nil {
+		c := m.Copr
+		w.u32(uint32(len(c.GI)))
+		w.raw(c.GI)
+		encodeTable(w, c.PaPR)
+		encodeTable(w, c.LiPR)
+		w.u64(c.Overall.Hits)
+		w.u64(c.Overall.Total)
+		for _, r := range c.BySource {
+			w.u64(r.Hits)
+			w.u64(r.Total)
+		}
+	}
+
+	w.bool(s.Tier != nil)
+	if s.Tier != nil {
+		t := s.Tier
+		w.u64(uint64(len(t.Near)))
+		for _, n := range t.Near {
+			w.u64(n.Addr)
+			w.u64(n.Freq)
+			w.raw(n.Data[:])
+		}
+		w.u64(uint64(len(t.FarFreq)))
+		for _, f := range t.FarFreq {
+			w.u64(f.Addr)
+			w.u64(f.Count)
+		}
+		w.u64(t.FreqOps)
+		for _, v := range t.Counters {
+			w.u64(v)
+		}
+	}
+}
+
+func encodeTable(w *writer, t *copr.TableState) {
+	w.bool(t != nil)
+	if t == nil {
+		return
+	}
+	w.u64(t.Tick)
+	w.u32(uint32(t.Sets))
+	w.u32(uint32(t.Ways))
+	for _, e := range t.Entries {
+		w.bool(e.Valid)
+		w.u64(e.Key)
+		w.u64(e.A)
+		w.u64(e.B)
+		w.u64(e.Used)
+	}
+}
+
+// ---------------------------------------------------------------------
+// decoding
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < n {
+		r.fail("truncated at offset %d (need %d bytes, have %d)", r.off, n, r.remaining())
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *reader) u8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *reader) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (r *reader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *reader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("boolean field at offset %d not 0 or 1", r.off-1)
+		return false
+	}
+}
+
+// count reads an element count and validates it against the remaining
+// input, given the minimum encoded size of one element — a corrupted
+// count can never force an over-allocation.
+func (r *reader) count(minElem int, what string) int {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.remaining()/minElem) {
+		r.fail("%s count %d exceeds remaining input", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+// DecodeBytes parses a canonical snapshot. It never panics: truncated,
+// corrupted, or version-skewed input returns an error.
+func DecodeBytes(b []byte) (*ClusterState, error) {
+	r := &reader{b: b}
+	if m := r.take(len(magic)); r.err == nil {
+		for i := range magic {
+			if m[i] != magic[i] {
+				r.fail("bad magic")
+				break
+			}
+		}
+	}
+	if v := r.u16(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("%w: got version %d, support %d", ErrVersion, v, Version)
+	}
+	nEng := r.u32()
+	if r.err == nil && nEng > uint64Max32(r.remaining()) {
+		r.fail("engine count %d exceeds remaining input", nEng)
+	}
+	cs := &ClusterState{}
+	for i := uint32(0); r.err == nil && i < nEng; i++ {
+		cs.Engines = append(cs.Engines, decodeEngine(r))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after snapshot: %w", r.remaining(), ErrCorrupt)
+	}
+	return cs, nil
+}
+
+// uint64Max32 bounds a u32 count by the remaining bytes (each engine
+// needs at least a few dozen bytes; 1 is a safe floor).
+func uint64Max32(remaining int) uint32 {
+	if remaining < 0 {
+		return 0
+	}
+	return uint32(remaining)
+}
+
+// Decode reads all of in and parses it as a snapshot.
+func Decode(in io.Reader) (*ClusterState, error) {
+	b, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("snap: reading snapshot: %w", err)
+	}
+	return DecodeBytes(b)
+}
+
+func decodeEngine(r *reader) *EngineState {
+	e := &EngineState{}
+	e.Opts.CIDBits = int(int32(r.u32()))
+	e.Opts.Seed = int64(r.u64())
+	flags := r.u8()
+	if r.err == nil && flags > 3 {
+		r.fail("unknown option flags %#x", flags)
+	}
+	e.Opts.DisablePredictor = flags&1 != 0
+	e.Opts.ExtendedCompression = flags&2 != 0
+	e.Opts.Predictor.MemorySize = int64(r.u64())
+	e.Opts.Predictor.GICounters = int(int32(r.u32()))
+	e.Opts.Predictor.GIThreshold = r.u8()
+	e.Opts.Predictor.PaPRBytes = int(int32(r.u32()))
+	e.Opts.Predictor.PaPRWays = int(int32(r.u32()))
+	e.Opts.Predictor.LiPRBytes = int(int32(r.u32()))
+	e.Opts.Predictor.LiPRWays = int(int32(r.u32()))
+	en := r.u8()
+	if r.err == nil && en > 7 {
+		r.fail("unknown predictor enable flags %#x", en)
+	}
+	e.Opts.Predictor.EnableGI = en&1 != 0
+	e.Opts.Predictor.EnablePaPR = en&2 != 0
+	e.Opts.Predictor.EnableLiPR = en&4 != 0
+
+	if r.bool() {
+		t := &tier.Config{}
+		t.NearLines = int64(r.u64())
+		pl := int(r.u8())
+		if r.err == nil && pl > 32 {
+			r.fail("tier policy name length %d exceeds 32", pl)
+		}
+		t.Policy = string(r.take(pl))
+		t.FreqThreshold = r.u64()
+		t.FreqDecayEvery = r.u64()
+		t.PinShift = r.u32()
+		t.PinPrefix = r.u64()
+		t.Link.FarLatencyNs = r.f64()
+		t.Link.FarBandwidthMult = r.f64()
+		t.Link.NearEnergyPerByte = r.f64()
+		t.Link.FarEnergyPerByte = r.f64()
+		if r.err == nil {
+			e.Tier = t
+		}
+	}
+	for i := range e.Robust {
+		e.Robust[i] = r.u64()
+	}
+	nShards := r.u32()
+	if r.err == nil && nShards > uint64Max32(r.remaining()) {
+		r.fail("shard count %d exceeds remaining input", nShards)
+	}
+	for i := uint32(0); r.err == nil && i < nShards; i++ {
+		e.Shards = append(e.Shards, decodeShard(r, e.Tier != nil))
+	}
+	return e
+}
+
+func decodeShard(r *reader, tiered bool) ShardState {
+	s := ShardState{Mem: &core.MemoryState{}}
+	m := s.Mem
+	nLines := r.count(8+1+core.LineSize, "line")
+	m.Lines = make([]core.LineState, 0, nLines)
+	var prevAddr uint64
+	for i := 0; r.err == nil && i < nLines; i++ {
+		var l core.LineState
+		l.Addr = r.u64()
+		if i > 0 && l.Addr <= prevAddr {
+			r.fail("lines not strictly sorted at index %d", i)
+			break
+		}
+		prevAddr = l.Addr
+		flags := r.u8()
+		if r.err == nil && flags > 3 {
+			r.fail("unknown line flags %#x at index %d", flags, i)
+			break
+		}
+		if flags == 3 {
+			r.fail("line %d both compressed and collided", i)
+			break
+		}
+		l.Compressed = flags&1 != 0
+		l.Collision = flags&2 != 0
+		copy(l.Blocks[0][:], r.take(core.SubRankBlock))
+		copy(l.Blocks[1][:], r.take(core.SubRankBlock))
+		m.Lines = append(m.Lines, l)
+	}
+	m.Stats.Reads = r.u64()
+	m.Stats.Writes = r.u64()
+	m.Stats.BlocksRead = r.u64()
+	m.Stats.BlocksWritten = r.u64()
+	m.Stats.Mispredictions = r.u64()
+	m.Stats.RAAccesses = r.u64()
+	m.Stats.CompressedLines = r.u64()
+	m.Stats.RAOccupancy = r.u64()
+	m.Stats.Lines = uint64(len(m.Lines))
+
+	m.Blem.CID = r.u16()
+	nRA := r.count(9, "RA entry")
+	m.Blem.RA = make(map[uint64]bool, nRA)
+	var prevRA uint64
+	for i := 0; r.err == nil && i < nRA; i++ {
+		a := r.u64()
+		if i > 0 && a <= prevRA {
+			r.fail("RA entries not strictly sorted at index %d", i)
+			break
+		}
+		prevRA = a
+		m.Blem.RA[a] = r.bool()
+	}
+	for i := range m.Blem.Stats {
+		m.Blem.Stats[i] = r.u64()
+	}
+
+	if r.bool() {
+		c := &copr.State{}
+		nGI := r.u32()
+		if r.err == nil && int(nGI) > r.remaining() {
+			r.fail("GI counter count %d exceeds remaining input", nGI)
+		}
+		c.GI = append([]uint8(nil), r.take(int(nGI))...)
+		c.PaPR = decodeTable(r, "PaPR")
+		c.LiPR = decodeTable(r, "LiPR")
+		c.Overall.Hits = r.u64()
+		c.Overall.Total = r.u64()
+		for i := range c.BySource {
+			c.BySource[i].Hits = r.u64()
+			c.BySource[i].Total = r.u64()
+		}
+		if r.err == nil {
+			m.Copr = c
+		}
+	}
+
+	hasTier := r.bool()
+	if r.err == nil && hasTier != tiered {
+		r.fail("shard tier-state presence (%v) disagrees with engine tier config (%v)", hasTier, tiered)
+	}
+	if r.err == nil && hasTier {
+		t := &tier.State{}
+		nNear := r.count(8+8+tier.LineSize, "near line")
+		t.Near = make([]tier.NearLineState, 0, nNear)
+		for i := 0; r.err == nil && i < nNear; i++ {
+			var n tier.NearLineState
+			n.Addr = r.u64()
+			n.Freq = r.u64()
+			copy(n.Data[:], r.take(tier.LineSize))
+			t.Near = append(t.Near, n)
+		}
+		nFreq := r.count(16, "freq counter")
+		t.FarFreq = make([]tier.FreqCount, 0, nFreq)
+		for i := 0; r.err == nil && i < nFreq; i++ {
+			var f tier.FreqCount
+			f.Addr = r.u64()
+			if i > 0 && f.Addr <= t.FarFreq[i-1].Addr {
+				r.fail("freq counters not strictly sorted at index %d", i)
+				break
+			}
+			f.Count = r.u64()
+			t.FarFreq = append(t.FarFreq, f)
+		}
+		t.FreqOps = r.u64()
+		for i := range t.Counters {
+			t.Counters[i] = r.u64()
+		}
+		if r.err == nil {
+			s.Tier = t
+		}
+	}
+	return s
+}
+
+func decodeTable(r *reader, what string) *copr.TableState {
+	if !r.bool() {
+		return nil
+	}
+	t := &copr.TableState{}
+	t.Tick = r.u64()
+	sets := r.u32()
+	ways := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	const maxDim = 1 << 24
+	if sets > maxDim || ways > maxDim {
+		r.fail("%s table geometry %dx%d out of range", what, sets, ways)
+		return nil
+	}
+	n := uint64(sets) * uint64(ways)
+	if n > uint64(r.remaining()/33) {
+		r.fail("%s table entry count %d exceeds remaining input", what, n)
+		return nil
+	}
+	t.Sets = int(sets)
+	t.Ways = int(ways)
+	t.Entries = make([]copr.EntryState, 0, n)
+	for i := uint64(0); r.err == nil && i < n; i++ {
+		var e copr.EntryState
+		e.Valid = r.bool()
+		e.Key = r.u64()
+		e.A = r.u64()
+		e.B = r.u64()
+		e.Used = r.u64()
+		t.Entries = append(t.Entries, e)
+	}
+	return t
+}

@@ -34,6 +34,10 @@ func (c *Counter) Dec() {
 // Value reports the current count.
 func (c *Counter) Value() uint64 { return c.n }
 
+// Restore sets the counter to an absolute value — the snapshot/restore
+// path, where a rebuilt component resumes from serialized counters.
+func (c *Counter) Restore(v uint64) { c.n = v }
+
 // Ratio is a hit/total style ratio tracker.
 type Ratio struct {
 	hits  uint64
@@ -53,6 +57,16 @@ func (r *Ratio) Hits() uint64 { return r.hits }
 
 // Total reports the number of observations.
 func (r *Ratio) Total() uint64 { return r.total }
+
+// Restore sets the ratio to absolute hit/total counts — the
+// snapshot/restore path. hits above total is clamped, since a ratio
+// above 1 always indicates a corrupt snapshot.
+func (r *Ratio) Restore(hits, total uint64) {
+	if hits > total {
+		hits = total
+	}
+	r.hits, r.total = hits, total
+}
 
 // Value reports hits/total, or 0 when nothing was observed.
 func (r *Ratio) Value() float64 {

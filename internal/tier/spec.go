@@ -1,0 +1,99 @@
+package tier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the command-line tier spec shared by attached -tiers
+// and attacheload -tiers:
+//
+//	near=LINES[,policy=lru|freq|static][,freq-threshold=N][,freq-decay=N]
+//	    [,pin=PREFIX@SHIFT][,lat=NS][,bw=MULT][,near-energy=PJ][,far-energy=PJ]
+//
+// near is mandatory (-1 = unbounded, 0 = a zero-capacity passthrough
+// tier); everything else defaults per Config.WithDefaults. The returned
+// config is validated.
+func ParseSpec(s string) (*Config, error) {
+	cfg := Config{Link: DefaultLink()}
+	sawNear := false
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("tier: bad spec entry %q (want key=value)", part)
+		}
+		switch key {
+		case "near":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tier: bad near %q (want line count, -1 = unbounded)", val)
+			}
+			cfg.NearLines = n
+			sawNear = true
+		case "policy":
+			cfg.Policy = val
+		case "freq-threshold":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tier: bad freq-threshold %q", val)
+			}
+			cfg.FreqThreshold = n
+		case "freq-decay":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tier: bad freq-decay %q", val)
+			}
+			cfg.FreqDecayEvery = n
+		case "pin":
+			prefixStr, shiftStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("tier: bad pin %q (want PREFIX@SHIFT)", val)
+			}
+			prefix, err := strconv.ParseUint(prefixStr, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tier: bad pin prefix %q", prefixStr)
+			}
+			shift, err := strconv.ParseUint(shiftStr, 10, 32)
+			if err != nil || shift > 63 {
+				return nil, fmt.Errorf("tier: bad pin shift %q (want [0,63])", shiftStr)
+			}
+			cfg.PinPrefix = prefix
+			cfg.PinShift = uint32(shift)
+		case "lat":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("tier: bad lat %q (want ns >= 0)", val)
+			}
+			cfg.Link.FarLatencyNs = f
+		case "bw":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return nil, fmt.Errorf("tier: bad bw %q (want multiplier > 0)", val)
+			}
+			cfg.Link.FarBandwidthMult = f
+		case "near-energy":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("tier: bad near-energy %q (want pJ/byte >= 0)", val)
+			}
+			cfg.Link.NearEnergyPerByte = f
+		case "far-energy":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("tier: bad far-energy %q (want pJ/byte >= 0)", val)
+			}
+			cfg.Link.FarEnergyPerByte = f
+		default:
+			return nil, fmt.Errorf("tier: unknown spec key %q", key)
+		}
+	}
+	if !sawNear {
+		return nil, fmt.Errorf("tier: spec is missing near=LINES (use -1 for unbounded)")
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}

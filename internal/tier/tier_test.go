@@ -1,0 +1,541 @@
+package tier
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"attache/internal/core"
+)
+
+func newFar(t *testing.T, seed int64) *core.Memory {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	far, err := core.NewMemory(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return far
+}
+
+func newTier(t *testing.T, cfg Config, seed int64) *Memory {
+	t.Helper()
+	m, err := NewMemory(cfg, newFar(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func line(tag uint64) []byte {
+	b := make([]byte, LineSize)
+	for i := 0; i < LineSize; i += 8 {
+		v := tag*0x9E3779B97F4A7C15 + uint64(i)
+		for j := 0; j < 8; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return b
+}
+
+// checkInvariants asserts the conservation laws that define the tier:
+// exclusive residency, the promotion/demotion balance, read and write
+// conservation against the far memory's own counters.
+func checkInvariants(t *testing.T, m *Memory, okReads uint64) {
+	t.Helper()
+	s := m.Snapshot()
+	far := m.Far().StatsSnapshot()
+
+	// Exclusive residency: no near-resident address may also be far.
+	st := m.ExportState()
+	seen := make(map[uint64]bool, len(st.Near))
+	for _, n := range st.Near {
+		if seen[n.Addr] {
+			t.Fatalf("address %#x resident near twice", n.Addr)
+		}
+		seen[n.Addr] = true
+		if m.Far().Contains(n.Addr) {
+			t.Fatalf("address %#x resident in both tiers", n.Addr)
+		}
+	}
+
+	// Every promotion either displaced a line (demotion) or grew the
+	// near tier: promotions == demotions + near_resident.
+	if s.Promotions != s.Demotions+s.NearResident {
+		t.Fatalf("promotion balance broken: %d promotions != %d demotions + %d resident",
+			s.Promotions, s.Demotions, s.NearResident)
+	}
+
+	// Reads conservation: every successful client read was served by
+	// exactly one tier.
+	if okReads != s.NearReads+s.FarReads {
+		t.Fatalf("reads not conserved: %d ok reads != %d near + %d far",
+			okReads, s.NearReads, s.FarReads)
+	}
+
+	// The far memory's own traffic decomposes into client far ops plus
+	// demotion writebacks.
+	if far.Reads != s.FarReads {
+		t.Fatalf("far core reads %d != tier far reads %d", far.Reads, s.FarReads)
+	}
+	if far.Writes != s.FarWrites+s.Demotions {
+		t.Fatalf("far core writes %d != tier far writes %d + demotions %d",
+			far.Writes, s.FarWrites, s.Demotions)
+	}
+}
+
+// TestTierInvariantsProperty drives randomized workloads over every
+// policy and several seeds and checks the conservation laws hold at
+// every step boundary, with the data read back always matching the data
+// last written.
+func TestTierInvariantsProperty(t *testing.T) {
+	configs := []Config{
+		{NearLines: 8, Policy: PolicyLRU},
+		{NearLines: 8, Policy: PolicyFreq, FreqThreshold: 2, FreqDecayEvery: 64},
+		{NearLines: 8, Policy: PolicyStatic, PinShift: 4, PinPrefix: 1},
+		{NearLines: 1, Policy: PolicyLRU},
+		{NearLines: -1, Policy: PolicyLRU},
+		{NearLines: 0, Policy: PolicyFreq},
+	}
+	for _, cfg := range configs {
+		for _, seed := range []int64{1, 7, 42} {
+			name := fmt.Sprintf("%s/near=%d/seed=%d", cfg.WithDefaults().Policy, cfg.NearLines, seed)
+			t.Run(name, func(t *testing.T) {
+				m := newTier(t, cfg, seed)
+				rng := rand.New(rand.NewSource(seed))
+				written := make(map[uint64][]byte)
+				var okReads uint64
+				const space = 64
+				for i := 0; i < 2000; i++ {
+					addr := uint64(rng.Intn(space))
+					if rng.Intn(2) == 0 {
+						data := line(addr*1000 + uint64(i))
+						if err := m.Write(addr, data); err != nil {
+							t.Fatalf("write %#x: %v", addr, err)
+						}
+						written[addr] = data
+					} else {
+						got, err := m.Read(addr)
+						want, ok := written[addr]
+						if !ok {
+							if !errors.Is(err, core.ErrNeverWritten) {
+								t.Fatalf("read of unwritten %#x: got %v, want ErrNeverWritten", addr, err)
+							}
+							continue
+						}
+						if err != nil {
+							t.Fatalf("read %#x: %v", addr, err)
+						}
+						okReads++
+						if !bytes.Equal(got, want) {
+							t.Fatalf("read %#x returned wrong data", addr)
+						}
+					}
+					if i%97 == 0 {
+						checkInvariants(t, m, okReads)
+					}
+				}
+				checkInvariants(t, m, okReads)
+			})
+		}
+	}
+}
+
+// TestZeroCapacityNearBitIdentical: a zero-capacity near tier is a pure
+// passthrough — every result and every stats counter matches a plain
+// compressed memory driven with the same sequence.
+func TestZeroCapacityNearBitIdentical(t *testing.T) {
+	const seed = 42
+	tiered := newTier(t, Config{NearLines: 0, Policy: PolicyLRU}, seed)
+	plain := newFar(t, seed)
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 1500; i++ {
+		addr := uint64(rng.Intn(128))
+		if rng.Intn(2) == 0 {
+			data := line(addr + uint64(i))
+			e1 := tiered.Write(addr, data)
+			e2 := plain.Write(addr, data)
+			if (e1 == nil) != (e2 == nil) || (e1 != nil && e1.Error() != e2.Error()) {
+				t.Fatalf("write %#x: tiered err %v, plain err %v", addr, e1, e2)
+			}
+		} else {
+			d1, e1 := tiered.Read(addr)
+			d2, e2 := plain.Read(addr)
+			if (e1 == nil) != (e2 == nil) || (e1 != nil && e1.Error() != e2.Error()) {
+				t.Fatalf("read %#x: tiered err %v, plain err %v", addr, e1, e2)
+			}
+			if !bytes.Equal(d1, d2) {
+				t.Fatalf("read %#x: tiered and plain data diverge", addr)
+			}
+		}
+	}
+	// Bad-size writes must produce the identical error too.
+	e1 := tiered.Write(1, []byte{1, 2, 3})
+	e2 := plain.Write(1, []byte{1, 2, 3})
+	if e1 == nil || e2 == nil || e1.Error() != e2.Error() {
+		t.Fatalf("bad-size write errors diverge: %v vs %v", e1, e2)
+	}
+
+	ts, ps := tiered.Far().StatsSnapshot(), plain.StatsSnapshot()
+	if !reflect.DeepEqual(ts, ps) {
+		t.Fatalf("far stats diverge from plain memory:\n tiered %+v\n plain  %+v", ts, ps)
+	}
+	s := tiered.Snapshot()
+	if s.NearReads != 0 || s.NearWrites != 0 || s.Promotions != 0 || s.Demotions != 0 || s.NearResident != 0 {
+		t.Fatalf("zero-capacity tier saw near traffic: %+v", s)
+	}
+}
+
+// TestUnboundedNearAbsorbsEverything: with an unbounded near tier every
+// write allocates near and every read of written data hits near, so the
+// far link carries zero traffic.
+func TestUnboundedNearAbsorbsEverything(t *testing.T) {
+	m := newTier(t, Config{NearLines: -1, Policy: PolicyLRU}, 7)
+	for a := uint64(0); a < 200; a++ {
+		if err := m.Write(a, line(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := uint64(0); a < 200; a++ {
+		got, err := m.Read(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, line(a)) {
+			t.Fatalf("line %#x corrupted", a)
+		}
+	}
+	s := m.Snapshot()
+	if s.FarAccesses != 0 || s.FarLinkBlocks != 0 || s.FarReads != 0 || s.FarWrites != 0 || s.Demotions != 0 {
+		t.Fatalf("unbounded near tier leaked far traffic: %+v", s)
+	}
+	if s.NearResident != 200 || s.Promotions != 200 {
+		t.Fatalf("expected 200 resident/promoted, got %d/%d", s.NearResident, s.Promotions)
+	}
+	if s.FarLinkBytes != 0 || s.FarLatencyNs != 0 {
+		t.Fatalf("modeled far cost nonzero with zero far traffic: %+v", s)
+	}
+}
+
+// TestLRUEvictionOrder: with capacity 2, touching A keeps it resident
+// while the least-recently-used line demotes.
+func TestLRUEvictionOrder(t *testing.T) {
+	m := newTier(t, Config{NearLines: 2, Policy: PolicyLRU}, 1)
+	for _, a := range []uint64{1, 2} {
+		if err := m.Write(a, line(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Read(1); err != nil { // 1 is now MRU
+		t.Fatal(err)
+	}
+	if err := m.Write(3, line(3)); err != nil { // evicts 2
+		t.Fatal(err)
+	}
+	st := m.ExportState()
+	resident := make(map[uint64]bool)
+	for _, n := range st.Near {
+		resident[n.Addr] = true
+	}
+	if !resident[1] || !resident[3] || resident[2] {
+		t.Fatalf("LRU kept the wrong lines near: %v", resident)
+	}
+	if !m.Far().Contains(2) {
+		t.Fatal("demoted line 2 lost instead of written far")
+	}
+	got, err := m.Read(2)
+	if err != nil || !bytes.Equal(got, line(2)) {
+		t.Fatalf("demoted line round-trip failed: %v", err)
+	}
+}
+
+// TestFreqThresholdGate: the freq policy leaves a line far until it has
+// been touched FreqThreshold times.
+func TestFreqThresholdGate(t *testing.T) {
+	m := newTier(t, Config{NearLines: 4, Policy: PolicyFreq, FreqThreshold: 3, FreqDecayEvery: 1 << 30}, 1)
+	if err := m.Write(9, line(9)); err != nil { // touch 1: stays far
+		t.Fatal(err)
+	}
+	if m.NearResident() != 0 {
+		t.Fatalf("line promoted after 1 touch (threshold 3)")
+	}
+	if _, err := m.Read(9); err != nil { // touch 2: stays far
+		t.Fatal(err)
+	}
+	if m.NearResident() != 0 {
+		t.Fatalf("line promoted after 2 touches (threshold 3)")
+	}
+	if _, err := m.Read(9); err != nil { // touch 3: promotes
+		t.Fatal(err)
+	}
+	if m.NearResident() != 1 {
+		t.Fatalf("line not promoted after reaching threshold")
+	}
+	s := m.Snapshot()
+	if s.Promotions != 1 || s.FarReads != 2 || s.FarWrites != 1 {
+		t.Fatalf("unexpected freq traffic split: %+v", s)
+	}
+}
+
+// TestStaticPinPolicy: only pinned addresses go near, nothing demotes,
+// and a full pin region blocks further promotions rather than evicting.
+func TestStaticPinPolicy(t *testing.T) {
+	// Pin addr>>4 == 1, i.e. addresses 16..31.
+	m := newTier(t, Config{NearLines: 2, Policy: PolicyStatic, PinShift: 4, PinPrefix: 1}, 1)
+	for _, a := range []uint64{16, 17, 18, 40} {
+		if err := m.Write(a, line(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.ExportState()
+	resident := make(map[uint64]bool)
+	for _, n := range st.Near {
+		resident[n.Addr] = true
+	}
+	if !resident[16] || !resident[17] {
+		t.Fatalf("pinned addresses not near: %v", resident)
+	}
+	if resident[18] {
+		t.Fatal("pinned address promoted past capacity (static must not evict)")
+	}
+	if resident[40] {
+		t.Fatal("unpinned address promoted")
+	}
+	if s := m.Snapshot(); s.Demotions != 0 {
+		t.Fatalf("static policy demoted %d lines", s.Demotions)
+	}
+}
+
+// TestPolicyDeterminism: the same op sequence on two fresh tiers leaves
+// byte-identical exported state — victim tie-breaking included.
+func TestPolicyDeterminism(t *testing.T) {
+	for _, policy := range []string{PolicyLRU, PolicyFreq, PolicyStatic} {
+		t.Run(policy, func(t *testing.T) {
+			run := func() *State {
+				m := newTier(t, Config{NearLines: 4, Policy: policy, FreqThreshold: 2, FreqDecayEvery: 32, PinShift: 3, PinPrefix: 2}, 5)
+				rng := rand.New(rand.NewSource(99))
+				for i := 0; i < 1200; i++ {
+					addr := uint64(rng.Intn(48))
+					if rng.Intn(3) == 0 {
+						if err := m.Write(addr, line(addr+uint64(i))); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						if _, err := m.Read(addr); err != nil && !errors.Is(err, core.ErrNeverWritten) {
+							t.Fatal(err)
+						}
+					}
+				}
+				return m.ExportState()
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("identical runs diverged:\n a: %+v\n b: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestTierStateRoundTrip: export mid-workload, restore into a fresh
+// tier over a restored far memory, and drive both originals and
+// restorations identically — results and snapshots must match exactly.
+func TestTierStateRoundTrip(t *testing.T) {
+	for _, policy := range []string{PolicyLRU, PolicyFreq, PolicyStatic} {
+		t.Run(policy, func(t *testing.T) {
+			cfg := Config{NearLines: 6, Policy: policy, FreqThreshold: 2, FreqDecayEvery: 64, PinShift: 3, PinPrefix: 1}
+			m := newTier(t, cfg, 11)
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 800; i++ {
+				addr := uint64(rng.Intn(40))
+				if rng.Intn(2) == 0 {
+					if err := m.Write(addr, line(addr^uint64(i))); err != nil {
+						t.Fatal(err)
+					}
+				} else if _, err := m.Read(addr); err != nil && !errors.Is(err, core.ErrNeverWritten) {
+					t.Fatal(err)
+				}
+			}
+
+			farRestored, err := core.RestoreMemory(m.Far().Options(), m.Far().ExportState())
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := RestoreMemory(m.Config(), farRestored, m.ExportState())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(m.Snapshot(), restored.Snapshot()) {
+				t.Fatalf("snapshots diverge immediately after restore:\n %+v\n %+v", m.Snapshot(), restored.Snapshot())
+			}
+
+			// Second half on both: must stay in lockstep.
+			for i := 0; i < 800; i++ {
+				addr := uint64(rng.Intn(40))
+				if rng.Intn(2) == 0 {
+					data := line(addr + uint64(i)*7)
+					e1, e2 := m.Write(addr, data), restored.Write(addr, data)
+					if (e1 == nil) != (e2 == nil) {
+						t.Fatalf("write %#x diverged: %v vs %v", addr, e1, e2)
+					}
+				} else {
+					d1, e1 := m.Read(addr)
+					d2, e2 := restored.Read(addr)
+					if (e1 == nil) != (e2 == nil) || !bytes.Equal(d1, d2) {
+						t.Fatalf("read %#x diverged: %v vs %v", addr, e1, e2)
+					}
+				}
+			}
+			if !reflect.DeepEqual(m.Snapshot(), restored.Snapshot()) {
+				t.Fatalf("snapshots diverge after post-restore workload:\n %+v\n %+v", m.Snapshot(), restored.Snapshot())
+			}
+		})
+	}
+}
+
+// TestRestoreRejects: corrupted tier states are refused.
+func TestRestoreRejects(t *testing.T) {
+	cfg := Config{NearLines: 2, Policy: PolicyLRU}.WithDefaults()
+	base := func(t *testing.T) (*core.Memory, *State) {
+		m := newTier(t, cfg, 1)
+		for _, a := range []uint64{1, 2, 3} {
+			if err := m.Write(a, line(a)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		far, err := core.RestoreMemory(m.Far().Options(), m.Far().ExportState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return far, m.ExportState()
+	}
+
+	t.Run("over-capacity", func(t *testing.T) {
+		far, st := base(t)
+		var extra NearLineState
+		extra.Addr = 77
+		st.Near = append(st.Near, extra)
+		if _, err := RestoreMemory(cfg, far, st); err == nil {
+			t.Fatal("restore accepted more near lines than capacity")
+		}
+	})
+	t.Run("duplicate-near", func(t *testing.T) {
+		far, st := base(t)
+		st.Near[1] = st.Near[0]
+		if _, err := RestoreMemory(cfg, far, st); err == nil {
+			t.Fatal("restore accepted a duplicate near line")
+		}
+	})
+	t.Run("dual-residency", func(t *testing.T) {
+		far, st := base(t)
+		// Make a near line also far-resident.
+		if err := far.Write(st.Near[0].Addr, line(0)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RestoreMemory(cfg, far, st); err == nil {
+			t.Fatal("restore accepted a line resident in both tiers")
+		}
+	})
+	t.Run("freq-state-for-lru", func(t *testing.T) {
+		far, st := base(t)
+		st.FarFreq = []FreqCount{{Addr: 1, Count: 2}}
+		if _, err := RestoreMemory(cfg, far, st); err == nil {
+			t.Fatal("restore accepted freq counters under the lru policy")
+		}
+	})
+}
+
+// TestSnapshotAccumulate covers the merge semantics used by engine- and
+// cluster-level stat aggregation.
+func TestSnapshotAccumulate(t *testing.T) {
+	a := Snapshot{Policy: "lru", NearCapacity: 4, NearResident: 2, NearReads: 10, FarReads: 3, Promotions: 5, Demotions: 3, EnergyPJ: 100}
+	b := Snapshot{Policy: "lru", NearCapacity: 4, NearResident: 1, NearReads: 7, FarReads: 2, Promotions: 2, Demotions: 1, EnergyPJ: 50}
+	a.Accumulate(b)
+	if a.NearCapacity != 8 || a.NearResident != 3 || a.NearReads != 17 || a.FarReads != 5 || a.Promotions != 7 || a.Demotions != 4 || a.EnergyPJ != 150 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	u := Snapshot{NearCapacity: -1}
+	u.Accumulate(Snapshot{Policy: "freq", NearCapacity: 100})
+	if u.NearCapacity != -1 || u.Policy != "freq" {
+		t.Fatalf("unbounded merge wrong: %+v", u)
+	}
+}
+
+// TestLinkModelFigures pins the derived cost math on a tiny case.
+func TestLinkModelFigures(t *testing.T) {
+	cfg := Config{NearLines: 0, Policy: PolicyLRU,
+		Link: LinkModel{FarLatencyNs: 100, FarBandwidthMult: 2, NearEnergyPerByte: 1, FarEnergyPerByte: 3}}
+	m := newTier(t, cfg, 1)
+	if err := m.Write(5, line(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(5); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	far := m.Far().StatsSnapshot()
+	wantBlocks := far.BlocksRead + far.BlocksWritten
+	if s.FarAccesses != 2 || s.FarLinkBlocks != wantBlocks {
+		t.Fatalf("far traffic wrong: %+v", s)
+	}
+	if want := float64(wantBlocks*core.SubRankBlock) * 2; s.FarLinkBytes != want {
+		t.Fatalf("FarLinkBytes = %g, want %g", s.FarLinkBytes, want)
+	}
+	if want := 2 * 100.0; s.FarLatencyNs != want {
+		t.Fatalf("FarLatencyNs = %g, want %g", s.FarLatencyNs, want)
+	}
+	if s.NearBytes != 0 {
+		t.Fatalf("zero-capacity tier counted near bytes: %d", s.NearBytes)
+	}
+	if want := s.FarLinkBytes * 3; s.EnergyPJ != want {
+		t.Fatalf("EnergyPJ = %g, want %g", s.EnergyPJ, want)
+	}
+}
+
+// TestParseSpec covers the shared -tiers spec syntax.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("near=4096,policy=freq,freq-threshold=3,freq-decay=512,pin=0x1f@20,lat=350,bw=1.5,near-energy=0.2,far-energy=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NearLines != 4096 || cfg.Policy != PolicyFreq || cfg.FreqThreshold != 3 ||
+		cfg.FreqDecayEvery != 512 || cfg.PinPrefix != 0x1f || cfg.PinShift != 20 {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+	if cfg.Link.FarLatencyNs != 350 || cfg.Link.FarBandwidthMult != 1.5 ||
+		cfg.Link.NearEnergyPerByte != 0.2 || cfg.Link.FarEnergyPerByte != 2 {
+		t.Fatalf("parsed link wrong: %+v", cfg.Link)
+	}
+
+	if cfg, err := ParseSpec("near=-1"); err != nil || cfg.NearLines != -1 || cfg.Policy != PolicyLRU {
+		t.Fatalf("minimal spec: cfg %+v err %v", cfg, err)
+	}
+	for _, bad := range []string{
+		"", "policy=lru", "near=x", "near=4,policy=mru", "near=4,pin=7",
+		"near=4,pin=7@70", "near=4,bw=0", "near=4,lat=-1", "near=4,zap=1", "near=4,near",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestConfigValidate pins the config error paths.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Policy: "mru"}).Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := (Config{PinShift: 64}).Validate(); err == nil {
+		t.Fatal("pin shift 64 accepted")
+	}
+	if err := (Config{Link: LinkModel{FarLatencyNs: -1}}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if _, err := NewMemory(Config{Policy: "bogus"}, newFar(t, 1)); err == nil {
+		t.Fatal("NewMemory accepted an invalid config")
+	}
+}

@@ -109,6 +109,43 @@ var presets = map[string]preset{
 			}
 		},
 	},
+	// tiered-hotset: a sharply skewed reader over a small hot set
+	// composed with a cold sequential scanner. The shape the two-tier
+	// backend is for — the hot set fits a modest near tier while the
+	// scan would pollute it, so it splits lru vs freq policies: lru
+	// promotes every scanned line once, freq keeps the scan out.
+	"tiered-hotset": {
+		desc: "Zipf(1.4) hot-set reader + cold sequential scanner, the near-tier capacity shape",
+		build: func(seed int64, events int) Spec {
+			hEvents := events * 4 / 5
+			cEvents := events - hEvents
+			if hEvents < 1 {
+				hEvents = 1
+			}
+			if cEvents < 1 {
+				cEvents = 1
+			}
+			return Spec{
+				Name: "tiered-hotset", Seed: seed, AddrSpace: 1 << 14, Prefill: 1 << 14,
+				Clients: []ClientSpec{
+					{
+						Name: "hotset", Events: hEvents,
+						Arrival: Arrival{Process: Poisson, Rate: 2500},
+						Mix:     Mix{ReadWeight: 6, WriteWeight: 1, BatchWeight: 1, BatchSize: 16},
+						Addr:    AddrPattern{Kind: AddrZipf, ZipfS: 1.4, PageLines: 16},
+						Payload: PayloadMixed,
+					},
+					{
+						Name: "scanner", Events: cEvents,
+						Arrival: Arrival{Process: GammaProc, Rate: 600, Shape: 2},
+						Mix:     Mix{ReadWeight: 1, WriteWeight: 1, BatchWeight: 1, BatchSize: 32},
+						Addr:    AddrPattern{Kind: AddrStream, Stride: 1},
+						Payload: PayloadCompressible,
+					},
+				},
+			}
+		},
+	},
 	// compression-hostile: uniform addresses, incompressible payloads,
 	// heavy-tailed Weibull(0.6) arrivals. Compression wins nothing, so
 	// this pins the metadata-overhead floor the paper is about.

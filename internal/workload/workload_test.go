@@ -287,7 +287,7 @@ func TestEnvelope(t *testing.T) {
 // names.
 func TestPresets(t *testing.T) {
 	names := Names()
-	want := []string{"compression-hostile", "pointer-chasing", "streaming", "write-burst", "zipfian-hot-page"}
+	want := []string{"compression-hostile", "pointer-chasing", "streaming", "tiered-hotset", "write-burst", "zipfian-hot-page"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
