@@ -3,13 +3,43 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate bench-pin fmt vet scenarios scenarios-update
+.PHONY: build test race bench bench-gate bench-pin fmt vet scenarios scenarios-update \
+	ci fmt-check twin-calibrate twin-update crossover
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Mirror of CI's test job (minus the race passes, which `make race`
+# covers): run this before pushing and the test job cannot surprise you.
+ci: vet fmt-check build test
+	./scripts/coverage_ratchet.sh
+	./scripts/twin_gate.sh
+
+# gofmt as a check (CI mode), not a rewrite: lists offending files and
+# fails, leaving the tree untouched.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Run the analytical-twin calibration sweep against the simulator and
+# enforce the committed tolerance bands — CI's twin-calibration job.
+twin-calibrate:
+	./scripts/twin_gate.sh
+
+# Regenerate internal/twin/testdata/calibration.json from the observed
+# sweep after an intentional model or engine change. Refuses to write
+# bands looser than the hard acceptance ceilings; commit the diff with
+# the change that moved the numbers.
+twin-update:
+	$(GO) test ./internal/twin -count=1 -run TestCalibration -update
+
+# Assert the sharding crossover claim (shards4 beats baseline-memory
+# wall-clock) — CI's crossover job. Skips below 4 CPUs.
+crossover:
+	./scripts/crossover_gate.sh
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,157 @@
+package twin
+
+import (
+	"context"
+	"flag"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/calibration.json from the observed sweep")
+
+const bandsFile = "calibration.json"
+
+// TestCalibration is the twin's accuracy contract: it runs the full
+// DefaultSweep (every preset scenario × every stress config) through
+// both the closed-form model and the real simulator, scores per-metric
+// MAPE and Pearson correlation, and enforces the committed bands.
+// After an intentional model or engine change, regenerate with
+//
+//	go test ./internal/twin -run TestCalibration -update
+//
+// Regeneration still fails if the observed calibration violates the
+// hard acceptance ceilings (MAPE ≤ 15%, Pearson ≥ 0.95 for the
+// paper-level metrics), so -update cannot launder a real regression.
+func TestCalibration(t *testing.T) {
+	pts := DefaultSweep(0)
+	events := pts[0].Events
+	obs, err := Calibrate(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(obs)
+	for name, s := range sum {
+		t.Logf("%-20s n=%d MAPE=%.4f Pearson=%.4f", name, s.N, s.MAPE, s.Pearson)
+	}
+
+	path := filepath.Join("testdata", bandsFile)
+	if *update {
+		bands, err := DeriveBands(sum, events)
+		if err != nil {
+			t.Fatalf("observed calibration misses a hard ceiling; not writing bands: %v", err)
+		}
+		if err := WriteBands(path, bands); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	bands, err := LoadBands(path)
+	if err != nil {
+		t.Fatalf("load committed bands (regenerate with -update): %v", err)
+	}
+	if bands.Events != events {
+		t.Errorf("committed bands were derived at %d events but the sweep ran %d", bands.Events, events)
+	}
+	for _, err := range CheckBands(sum, bands) {
+		t.Error(err)
+	}
+
+	// The acceptance bound on model cost, measured on the sweep itself:
+	// the twin must evaluate each point in well under a millisecond.
+	var worst time.Duration
+	for _, o := range obs {
+		if d := time.Duration(o.TwinNanos); d > worst {
+			worst = d
+		}
+	}
+	if worst > time.Millisecond {
+		t.Errorf("slowest twin evaluation took %v, want < 1ms", worst)
+	}
+}
+
+// Committed bands must never be looser than the hard ceilings — a
+// hand-edited file cannot widen the acceptance contract.
+func TestCommittedBandsWithinCeilings(t *testing.T) {
+	bands, err := LoadBands(filepath.Join("testdata", bandsFile))
+	if err != nil {
+		t.Fatalf("load committed bands (regenerate with -update): %v", err)
+	}
+	for name, ceil := range HardCeilings.MaxMAPE {
+		got, ok := bands.MaxMAPE[name]
+		if !ok {
+			t.Errorf("committed bands missing MAPE for %s", name)
+			continue
+		}
+		if got > ceil {
+			t.Errorf("committed MAPE band for %s = %v exceeds hard ceiling %v", name, got, ceil)
+		}
+	}
+	for name, floor := range HardCeilings.MinPearson {
+		got, ok := bands.MinPearson[name]
+		if !ok {
+			t.Errorf("committed bands missing Pearson for %s", name)
+			continue
+		}
+		if got < floor {
+			t.Errorf("committed Pearson band for %s = %v below hard floor %v", name, got, floor)
+		}
+	}
+}
+
+func TestDeriveBandsRejectsRegression(t *testing.T) {
+	bad := map[string]MetricSummary{
+		"compression_ratio": {N: 30, MAPE: 0.5, Pearson: 0.99},
+	}
+	if _, err := DeriveBands(bad, 1200); err == nil {
+		t.Error("DeriveBands accepted a MAPE above the hard ceiling")
+	}
+	bad = map[string]MetricSummary{
+		"compression_ratio": {N: 30, MAPE: 0.01, Pearson: 0.5},
+	}
+	if _, err := DeriveBands(bad, 1200); err == nil {
+		t.Error("DeriveBands accepted a Pearson below the hard floor")
+	}
+	if _, err := DeriveBands(map[string]MetricSummary{"bogus_metric": {}}, 1200); err == nil {
+		t.Error("DeriveBands accepted a metric with no hard ceiling")
+	}
+}
+
+func TestCheckBandsReportsViolations(t *testing.T) {
+	bands := Bands{
+		MaxMAPE:    map[string]float64{"m": 0.1},
+		MinPearson: map[string]float64{"m": 0.9},
+	}
+	sum := map[string]MetricSummary{"m": {N: 5, MAPE: 0.2, Pearson: 0.5}}
+	if errs := CheckBands(sum, bands); len(errs) != 2 {
+		t.Errorf("got %d violations, want 2 (MAPE and Pearson): %v", len(errs), errs)
+	}
+	sum = map[string]MetricSummary{"m": {N: 5, MAPE: 0.05, Pearson: 0.95}}
+	if errs := CheckBands(sum, bands); len(errs) != 0 {
+		t.Errorf("clean summary reported violations: %v", errs)
+	}
+	sum = map[string]MetricSummary{"unbanded": {N: 5}}
+	if errs := CheckBands(sum, bands); len(errs) != 2 {
+		t.Errorf("unbanded metric: got %d violations, want 2 (no bands committed): %v", len(errs), errs)
+	}
+}
+
+func TestPearsonDegenerateCases(t *testing.T) {
+	flat := []float64{3, 3, 3}
+	rising := []float64{1, 2, 3}
+	if r := pearson(flat, flat); r != 1 {
+		t.Errorf("flat vs flat: r = %v, want 1", r)
+	}
+	if r := pearson(flat, rising); r != 0 {
+		t.Errorf("flat vs rising: r = %v, want 0", r)
+	}
+	if r := pearson(rising, rising); r < 0.999999 {
+		t.Errorf("identical series: r = %v, want 1", r)
+	}
+	falling := []float64{3, 2, 1}
+	if r := pearson(rising, falling); r > -0.999999 {
+		t.Errorf("reversed series: r = %v, want -1", r)
+	}
+}

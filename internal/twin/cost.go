@@ -1,0 +1,51 @@
+package twin
+
+// CostModel prices individual ops in 32-byte sub-rank block units —
+// the per-op weights a load-aware router needs to balance work rather
+// than op counts (ROADMAP #2 residue: the cluster's least-loaded
+// policy treats a hostile-payload write, which always moves two blocks
+// plus corrective traffic, the same as a compressed read that moves
+// one). Derive it from a twin Prediction for the expected workload and
+// hand OpCost to cluster.Config.
+type CostModel struct {
+	// ReadCost / WriteCost are the expected blocks moved per read and
+	// per write on the modeled memory (the far memory when tiered —
+	// the constrained resource a router should balance).
+	ReadCost  float64 `json:"read_cost"`
+	WriteCost float64 `json:"write_cost"`
+	// FarPenalty is added to every op when a tiered prediction says
+	// traffic spills over the far link: the miss fraction weighted as
+	// two block-equivalents per far access (link latency dwarfs a
+	// block move). Zero when untiered. The absolute scale cancels in
+	// an argmin router; only relative weights matter.
+	FarPenalty float64 `json:"far_penalty"`
+}
+
+// CostModel derives per-op routing costs from the prediction.
+func (p Prediction) CostModel() CostModel {
+	c := CostModel{ReadCost: 2, WriteCost: 2}
+	if p.Reads > 0 {
+		c.ReadCost = p.BlocksRead / p.Reads
+	}
+	if p.Writes > 0 {
+		c.WriteCost = p.BlocksWritten / p.Writes
+	}
+	if p.Tier != nil {
+		c.FarPenalty = 2 * (1 - p.Tier.NearHitRate)
+	}
+	return c
+}
+
+// OpCost prices one op; it satisfies cluster.Config's OpCost hook.
+// A zero-value model prices every op at the uninformed default of two
+// blocks, so an unpopulated CostModel degrades to op counting.
+func (c CostModel) OpCost(write bool) float64 {
+	cost := c.ReadCost
+	if write {
+		cost = c.WriteCost
+	}
+	if cost == 0 {
+		cost = 2
+	}
+	return cost + c.FarPenalty
+}

@@ -1,0 +1,72 @@
+package twin
+
+import "math"
+
+// Che's approximation for LRU hit ratios under the independent
+// reference model: a cache of C lines behaves as if every line stays
+// resident for a fixed characteristic time T (measured in accesses),
+// so a line referenced with per-access probability p hits with
+// probability 1 − e^{−pT}. T solves Σ_i (1 − e^{−p_i T}) = C over the
+// distinct lines. See DESIGN.md §16 for why this fits the near tier:
+// the lru policy promotes on every access and evicts the LRU victim,
+// which is exactly the cache Che models.
+
+// lruClass is one group of statistically identical lines: `lines`
+// distinct addresses, each referenced with per-access probability `p`.
+type lruClass struct {
+	lines float64
+	p     float64
+}
+
+// cheT solves the characteristic-time fixed point by bisection on T.
+// Returns +Inf when the whole population fits (no capacity pressure).
+func cheT(classes []lruClass, capacity float64) float64 {
+	var total float64
+	for _, c := range classes {
+		total += c.lines
+	}
+	if total <= capacity || capacity <= 0 {
+		return math.Inf(1)
+	}
+	occupied := func(t float64) float64 {
+		var o float64
+		for _, c := range classes {
+			if c.p <= 0 {
+				continue
+			}
+			o += c.lines * -math.Expm1(-c.p*t)
+		}
+		return o
+	}
+	// Occupancy is monotone in T; bracket then bisect. The upper bound
+	// grows until occupancy exceeds capacity (or the population is so
+	// cold it never fills within any horizon we care about).
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200 && occupied(hi) < capacity; i++ {
+		hi *= 2
+	}
+	if occupied(hi) < capacity {
+		return math.Inf(1)
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if occupied(mid) < capacity {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// cheHit reports the steady-state hit probability of a line referenced
+// with per-access probability p under characteristic time T.
+func cheHit(p, t float64) float64 {
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	return -math.Expm1(-p * t)
+}

@@ -1,0 +1,221 @@
+package workload
+
+import "math"
+
+// This file exposes the closed-form moments of a Spec — the workload
+// parameters the analytical twin (internal/twin) consumes. Everything
+// here is derived from the Spec alone, never from sampling: the twin
+// must be evaluable in microseconds, so the moments are the analytic
+// mean/variance of each generator, not empirical estimates.
+
+// GapMoments are the analytic moments of one inter-arrival process,
+// in seconds, excluding any rate envelope (Period modulation rescales
+// individual gaps and is a time-varying effect the static moments do
+// not capture).
+type GapMoments struct {
+	// Mean is E[gap] = 1/Rate: all three processes normalize to it.
+	Mean float64
+	// Variance is Var[gap]; burstiness lives here. Poisson: mean².
+	// Gamma(k): mean²/k. Weibull(k): mean²·(Γ(1+2/k)/Γ²(1+1/k) − 1).
+	Variance float64
+}
+
+// GapMoments reports the analytic mean and variance of the arrival
+// process's inter-arrival gap. The shape defaulting matches sampleGap:
+// Shape 0 means 1, which reduces Gamma and Weibull to exponential.
+func (a Arrival) GapMoments() GapMoments {
+	mean := 1 / a.Rate
+	shape := a.Shape
+	if shape == 0 {
+		shape = 1
+	}
+	var variance float64
+	switch a.Process {
+	case GammaProc:
+		// Gamma(k, θ=mean/k): Var = kθ² = mean²/k.
+		variance = mean * mean / shape
+	case WeibullProc:
+		// Weibull(k, λ=mean/Γ(1+1/k)): Var = λ²(Γ(1+2/k) − Γ²(1+1/k)).
+		g1 := math.Gamma(1 + 1/shape)
+		g2 := math.Gamma(1 + 2/shape)
+		variance = mean * mean * (g2 - g1*g1) / (g1 * g1)
+	default: // Poisson → exponential gaps.
+		variance = mean * mean
+	}
+	return GapMoments{Mean: mean, Variance: variance}
+}
+
+// MixMoments are the expected per-event op counts of a Mix, mirroring
+// exactly how Compose draws events: event kind proportional to the
+// weights, batches of BatchSize ops with the in-batch write fraction
+// following the read/write balance (1-in-4 for batch-only mixes).
+type MixMoments struct {
+	OpsPerEvent      float64
+	ReadOpsPerEvent  float64
+	WriteOpsPerEvent float64
+	// InBatchWriteFraction is the probability one op inside a batch
+	// event is a write.
+	InBatchWriteFraction float64
+}
+
+// Moments reports the mix's expected per-event op counts. The BatchSize
+// defaulting (0 → 16) matches Compose.
+func (m Mix) Moments() MixMoments {
+	batch := float64(m.BatchSize)
+	if m.BatchSize == 0 {
+		batch = 16
+	}
+	wsum := float64(m.ReadWeight + m.WriteWeight + m.BatchWeight)
+	wf := 0.25
+	if m.ReadWeight+m.WriteWeight > 0 {
+		wf = float64(m.WriteWeight) / float64(m.ReadWeight+m.WriteWeight)
+	}
+	r, w, b := float64(m.ReadWeight)/wsum, float64(m.WriteWeight)/wsum, float64(m.BatchWeight)/wsum
+	return MixMoments{
+		OpsPerEvent:          r + w + b*batch,
+		ReadOpsPerEvent:      r + b*batch*(1-wf),
+		WriteOpsPerEvent:     w + b*batch*wf,
+		InBatchWriteFraction: wf,
+	}
+}
+
+// WithDefaults resolves the pattern's documented zero-value defaults
+// (stride 1, ZipfS 1.2, PageLines 64) so consumers see the parameters
+// newAddrGen actually uses.
+func (p AddrPattern) WithDefaults() AddrPattern {
+	if p.Kind == AddrStream && p.Stride == 0 {
+		p.Stride = 1
+	}
+	if p.Kind == AddrZipf {
+		if p.ZipfS == 0 {
+			p.ZipfS = 1.2
+		}
+		if p.PageLines == 0 {
+			p.PageLines = 64
+		}
+	}
+	return p
+}
+
+// ZipfPageWeights returns the unnormalized page-popularity weights of
+// an AddrZipf pattern over the given address space — weight(k) ∝
+// (1+k)^−s, matching rand.NewZipf(rng, s, 1, pages−1) — along with the
+// page count. Lines within a page are uniform. Returns nil for
+// non-Zipf patterns.
+func (p AddrPattern) ZipfPageWeights(addrSpace uint64) []float64 {
+	if p.Kind != AddrZipf {
+		return nil
+	}
+	p = p.WithDefaults()
+	pages := addrSpace / p.PageLines
+	if pages == 0 {
+		pages = 1
+	}
+	w := make([]float64, pages)
+	for k := range w {
+		w[k] = math.Pow(1+float64(k), -p.ZipfS)
+	}
+	return w
+}
+
+// ClientMoments are one client's analytic traffic moments.
+type ClientMoments struct {
+	Name   string
+	Events int
+	// Gap and MeanRate describe the arrival process (events/second).
+	Gap      GapMoments
+	MeanRate float64
+	Mix      MixMoments
+	// ReadOps/WriteOps are the expected op totals over the client's run.
+	ReadOps  float64
+	WriteOps float64
+	// Addr is the pattern with its defaults resolved; Payload is the
+	// line class every write of this client carries.
+	Addr    AddrPattern
+	Payload PayloadKind
+}
+
+// SpecMoments are the whole spec's analytic moments: the workload
+// parameters (compressibility mix, page locality, read/write ratio) the
+// paper's metrics are functions of.
+type SpecMoments struct {
+	AddrSpace uint64
+	// Prefill is the resolved prefill line count (loadgen semantics:
+	// 0 → AddrSpace/2 capped at 64Ki, negative → none) and
+	// PrefillPayload the class those lines carry (first client's).
+	Prefill        uint64
+	PrefillPayload PayloadKind
+	Events         int
+	// Expected op totals across all clients (prefill excluded).
+	Ops      float64
+	ReadOps  float64
+	WriteOps float64
+	// PayloadWeights is the write-op-weighted payload-class mix,
+	// prefill included; weights sum to 1.
+	PayloadWeights map[PayloadKind]float64
+	Clients        []ClientMoments
+}
+
+// Moments derives the spec's analytic moments. It assumes the spec
+// validates; call Validate first when the spec is untrusted.
+func (s Spec) Moments() SpecMoments {
+	m := SpecMoments{
+		AddrSpace:      s.AddrSpace,
+		PrefillPayload: PayloadMixed,
+		PayloadWeights: make(map[PayloadKind]float64),
+	}
+	switch {
+	case s.Prefill > 0:
+		m.Prefill = uint64(s.Prefill)
+	case s.Prefill == 0:
+		m.Prefill = s.AddrSpace / 2
+		if m.Prefill > 1<<16 {
+			m.Prefill = 1 << 16
+		}
+	}
+	if len(s.Clients) > 0 {
+		m.PrefillPayload = s.Clients[0].Payload
+	}
+	totalWrites := float64(m.Prefill)
+	m.PayloadWeights[m.PrefillPayload] += float64(m.Prefill)
+	for _, c := range s.Clients {
+		mm := c.Mix.Moments()
+		cm := ClientMoments{
+			Name:     c.Name,
+			Events:   c.Events,
+			Gap:      c.Arrival.GapMoments(),
+			MeanRate: c.Arrival.Rate,
+			Mix:      mm,
+			ReadOps:  float64(c.Events) * mm.ReadOpsPerEvent,
+			WriteOps: float64(c.Events) * mm.WriteOpsPerEvent,
+			Addr:     c.Addr.WithDefaults(),
+			Payload:  c.Payload,
+		}
+		m.Events += c.Events
+		m.Ops += float64(c.Events) * mm.OpsPerEvent
+		m.ReadOps += cm.ReadOps
+		m.WriteOps += cm.WriteOps
+		m.PayloadWeights[c.Payload] += cm.WriteOps
+		totalWrites += cm.WriteOps
+		m.Clients = append(m.Clients, cm)
+	}
+	if totalWrites > 0 {
+		for k := range m.PayloadWeights {
+			m.PayloadWeights[k] /= totalWrites
+		}
+	}
+	return m
+}
+
+// PayloadLine builds one line of the given payload class — the same
+// pure (addr, version) function Compose uses for that class. The twin
+// probes these through the real compressors to derive per-class size
+// distributions instead of hardcoding codec behavior.
+func PayloadLine(kind PayloadKind, addr, version uint64) []byte {
+	return payloadFunc(kind)(addr, version)
+}
+
+// Kinds lists every payload class, in declaration order.
+func Kinds() []PayloadKind {
+	return []PayloadKind{PayloadMixed, PayloadCompressible, PayloadPointer, PayloadHostile, PayloadZero}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGapMomentsMatchEmpirical: the analytic mean/variance of every
+// inter-arrival process must match empirical moments over 20k samples
+// from the real sampler. The tolerance mirrors the KS suite's spirit:
+// tight enough to catch a wrong formula (a swapped shape/scale moves
+// the variance by an integer factor), loose enough for sampling noise —
+// heavy-tailed shapes get a wider variance band because the sample
+// variance of Weibull(0.6)/Gamma(0.3) converges slowly.
+func TestGapMomentsMatchEmpirical(t *testing.T) {
+	cases := []struct {
+		name    string
+		arrival Arrival
+		varTol  float64 // relative tolerance on the variance
+	}{
+		{"poisson", Arrival{Process: Poisson, Rate: 2}, 0.10},
+		{"gamma-shape-3", Arrival{Process: GammaProc, Rate: 1, Shape: 3}, 0.10},
+		{"gamma-shape-0.3", Arrival{Process: GammaProc, Rate: 4, Shape: 0.3}, 0.25},
+		{"weibull-shape-2", Arrival{Process: WeibullProc, Rate: 1, Shape: 2}, 0.10},
+		{"weibull-shape-0.6", Arrival{Process: WeibullProc, Rate: 0.5, Shape: 0.6}, 0.25},
+		{"gamma-shape-0-defaults-to-exponential", Arrival{Process: GammaProc, Rate: 3}, 0.10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.arrival.GapMoments()
+			rng := rand.New(rand.NewSource(777))
+			var sum, sumSq float64
+			for i := 0; i < distSamples; i++ {
+				g := sampleGap(rng, tc.arrival)
+				sum += g
+				sumSq += g * g
+			}
+			mean := sum / distSamples
+			variance := sumSq/distSamples - mean*mean
+			if rel := math.Abs(mean-want.Mean) / want.Mean; rel > 0.05 {
+				t.Fatalf("empirical mean %.5f vs analytic %.5f (rel err %.3f)", mean, want.Mean, rel)
+			}
+			if rel := math.Abs(variance-want.Variance) / want.Variance; rel > tc.varTol {
+				t.Fatalf("empirical variance %.5f vs analytic %.5f (rel err %.3f > %.2f)",
+					variance, want.Variance, rel, tc.varTol)
+			}
+		})
+	}
+}
+
+// TestMixMomentsMatchCompose: expected per-event op counts must match
+// what Compose actually generates, measured over a single-client spec
+// large enough for the law of large numbers to bite.
+func TestMixMomentsMatchCompose(t *testing.T) {
+	cases := []struct {
+		name string
+		mix  Mix
+	}{
+		{"balanced", Mix{ReadWeight: 4, WriteWeight: 1, BatchWeight: 1, BatchSize: 16}},
+		{"batch-only-default-write-fraction", Mix{BatchWeight: 1, BatchSize: 8}},
+		{"write-heavy", Mix{ReadWeight: 0, WriteWeight: 2, BatchWeight: 1, BatchSize: 32}},
+		{"default-batch-size", Mix{ReadWeight: 1, WriteWeight: 1, BatchWeight: 2}},
+	}
+	const events = 20000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := Spec{
+				Name: "mix-probe", Seed: 99, AddrSpace: 1 << 12,
+				Clients: []ClientSpec{{
+					Name: "c", Events: events,
+					Arrival: Arrival{Process: Poisson, Rate: 1000},
+					Mix:     tc.mix,
+					Addr:    AddrPattern{Kind: AddrUniform},
+					Payload: PayloadMixed,
+				}},
+			}
+			evs, err := Compose(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ops, reads, writes float64
+			for _, ev := range evs {
+				ops += float64(len(ev.Ops))
+				for _, op := range ev.Ops {
+					if op.Write {
+						writes++
+					} else {
+						reads++
+					}
+				}
+			}
+			mm := tc.mix.Moments()
+			check := func(name string, got, want float64) {
+				t.Helper()
+				if want == 0 {
+					if got != 0 {
+						t.Fatalf("%s: got %.3f, want exactly 0", name, got)
+					}
+					return
+				}
+				if rel := math.Abs(got-want) / want; rel > 0.03 {
+					t.Fatalf("%s: empirical %.4f vs analytic %.4f (rel err %.4f)", name, got, want, rel)
+				}
+			}
+			check("ops/event", ops/events, mm.OpsPerEvent)
+			check("reads/event", reads/events, mm.ReadOpsPerEvent)
+			check("writes/event", writes/events, mm.WriteOpsPerEvent)
+		})
+	}
+}
+
+// TestSpecMomentsAggregates: multi-client totals, resolved prefill, and
+// the write-weighted payload mix.
+func TestSpecMomentsAggregates(t *testing.T) {
+	spec := Spec{
+		Name: "agg", Seed: 1, AddrSpace: 1 << 13, Prefill: 0, // 0 → space/2
+		Clients: []ClientSpec{
+			{
+				Name: "a", Events: 1000,
+				Arrival: Arrival{Process: Poisson, Rate: 100},
+				Mix:     Mix{ReadWeight: 1},
+				Addr:    AddrPattern{Kind: AddrZipf},
+				Payload: PayloadCompressible,
+			},
+			{
+				Name: "b", Events: 500,
+				Arrival: Arrival{Process: GammaProc, Rate: 200, Shape: 2},
+				Mix:     Mix{WriteWeight: 1},
+				Addr:    AddrPattern{Kind: AddrStream},
+				Payload: PayloadHostile,
+			},
+		},
+	}
+	m := spec.Moments()
+	if m.Prefill != 1<<12 {
+		t.Fatalf("resolved prefill = %d, want %d", m.Prefill, 1<<12)
+	}
+	if m.PrefillPayload != PayloadCompressible {
+		t.Fatalf("prefill payload = %v, want first client's %v", m.PrefillPayload, PayloadCompressible)
+	}
+	if m.Events != 1500 || m.ReadOps != 1000 || m.WriteOps != 500 {
+		t.Fatalf("totals events/reads/writes = %d/%.0f/%.0f, want 1500/1000/500", m.Events, m.ReadOps, m.WriteOps)
+	}
+	// Write-weighted payload mix: 4096 compressible prefill lines + 500
+	// hostile client writes.
+	wantComp := 4096.0 / 4596.0
+	if w := m.PayloadWeights[PayloadCompressible]; math.Abs(w-wantComp) > 1e-12 {
+		t.Fatalf("compressible weight = %.6f, want %.6f", w, wantComp)
+	}
+	var sum float64
+	for _, w := range m.PayloadWeights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("payload weights sum to %.6f, want 1", sum)
+	}
+	// Defaults resolved on the pattern.
+	if m.Clients[0].Addr.ZipfS != 1.2 || m.Clients[0].Addr.PageLines != 64 {
+		t.Fatalf("zipf defaults not resolved: %+v", m.Clients[0].Addr)
+	}
+	if m.Clients[1].Addr.Stride != 1 {
+		t.Fatalf("stream stride default not resolved: %+v", m.Clients[1].Addr)
+	}
+	// Negative prefill resolves to none.
+	spec.Prefill = -1
+	if p := spec.Moments().Prefill; p != 0 {
+		t.Fatalf("negative prefill resolved to %d, want 0", p)
+	}
+}
+
+// TestZipfPageWeights: the analytic page weights must match the pmf the
+// chi-square suite validates rand.Zipf against — and be nil off-Zipf.
+func TestZipfPageWeights(t *testing.T) {
+	p := AddrPattern{Kind: AddrZipf, ZipfS: 1.4, PageLines: 16}
+	w := p.ZipfPageWeights(1 << 10)
+	if len(w) != 64 {
+		t.Fatalf("got %d pages, want 64", len(w))
+	}
+	for k := 1; k < len(w); k++ {
+		if w[k] >= w[k-1] {
+			t.Fatalf("weights not strictly decreasing at rank %d", k)
+		}
+	}
+	if want := math.Pow(3, -1.4); math.Abs(w[2]-want) > 1e-12 {
+		t.Fatalf("w[2] = %g, want (1+2)^-1.4 = %g", w[2], want)
+	}
+	if (AddrPattern{Kind: AddrUniform}).ZipfPageWeights(1<<10) != nil {
+		t.Fatal("uniform pattern should have nil page weights")
+	}
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Sharding crossover gate — the CI crossover job.
+#
+# Asserts the performance claim the sharded engine exists for: at four
+# shards, BenchmarkShardedThroughput/shards4 must beat the unsharded
+# baseline-memory engine wall-clock. Each configuration runs
+# CROSSOVER_COUNT times (default 3) and the minimum ns/op represents it,
+# so scheduler noise can only hide a win, never manufacture one.
+#
+# Skips (exit 0, with a logged notice) when fewer than 4 CPUs are
+# online: the parallelism the shards exploit is not available, and an
+# oversubscribed run measures context-switch overhead, not the engine.
+set -eu
+cd "$(dirname "$0")/.."
+
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
+if [ "$cpus" -lt 4 ]; then
+	echo "crossover gate: SKIPPED — $cpus CPU(s) online, need >= 4 for the shards4 configuration"
+	exit 0
+fi
+
+count="${CROSSOVER_COUNT:-3}"
+benchtime="${CROSSOVER_BENCHTIME:-1s}"
+out="$(go test ./internal/shard -run '^$' \
+	-bench 'BenchmarkShardedThroughput/(baseline-memory|shards4)$' \
+	-benchtime "$benchtime" -count "$count")"
+echo "$out"
+
+base="$(echo "$out" | awk '$1 ~ /^BenchmarkShardedThroughput\/baseline-memory/ {print $3}' | sort -n | head -1)"
+sh4="$(echo "$out" | awk '$1 ~ /^BenchmarkShardedThroughput\/shards4/ {print $3}' | sort -n | head -1)"
+if [ -z "$base" ] || [ -z "$sh4" ]; then
+	echo "crossover gate: FAILED to parse benchmark output" >&2
+	exit 1
+fi
+
+awk -v base="$base" -v sh4="$sh4" 'BEGIN {
+	if (sh4 < base) {
+		printf "crossover gate: OK — shards4 %.0f ns/op beats baseline %.0f ns/op (%.2fx)\n", sh4, base, base / sh4
+		exit 0
+	}
+	printf "crossover gate: FAILED — shards4 %.0f ns/op does not beat baseline %.0f ns/op\n", sh4, base
+	exit 1
+}'

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Twin calibration gate — the CI twin-calibration job.
+#
+# Runs the committed calibration sweep (every preset scenario × every
+# stress config) through both the analytical twin and the real
+# simulator, prints the per-point comparison table, and enforces the
+# committed tolerance bands (internal/twin/testdata/calibration.json):
+# per-metric MAPE ceilings and Pearson floors. Exits non-zero on any
+# violation.
+#
+# The test-level contract (go test ./internal/twin -run TestCalibration)
+# checks the same bands plus the <1ms evaluation bound and the
+# bands-within-ceilings invariant; run both so CI logs carry the full
+# observation table when the gate trips.
+#
+# After an intentional model or engine change, regenerate the bands:
+#   go test ./internal/twin -run TestCalibration -update
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/attachetwin calibrate -bands internal/twin/testdata/calibration.json
+go test ./internal/twin -count=1 -run 'TestCalibration|TestCommittedBandsWithinCeilings' -v
